@@ -1,0 +1,100 @@
+"""Ablation: hash family x load factor inside a live parallel run
+(DESIGN.md §6).
+
+Fig. 6 studies the hash tables in isolation; here each (hash, load factor)
+combination drives a full parallel Louvain run, measuring the actual probe
+counts the algorithm incurs -- the end-to-end version of the paper's
+"Fibonacci and linear congruential perform better" claim.  Also checks the
+key-packing ablation: the paper's 16-bit shift (Eq. 5) works only while both
+tuple elements fit 16 bits; the 32-bit default removes the limit.
+"""
+
+import numpy as np
+import pytest
+from conftest import once
+
+from repro.generators import generate_lfr
+from repro.harness import format_table
+from repro.parallel import ParallelLouvainConfig, parallel_louvain
+
+
+def _probe_stats(graph, hash_function, load_factor):
+    res = parallel_louvain(
+        graph,
+        ParallelLouvainConfig(
+            num_ranks=8, hash_function=hash_function, load_factor=load_factor
+        ),
+    )
+    probes = res.simulation.profiler.total().comp_ops.sum()
+    return res.final_modularity, probes
+
+
+def test_ablation_hash_and_load_factor(benchmark):
+    def run():
+        graph = generate_lfr(
+            num_vertices=2000, avg_degree=16, max_degree=64, mixing=0.25, seed=3
+        ).graph
+        rows = []
+        for hash_function in ("fibonacci", "linear_congruential", "bitwise", "concatenated"):
+            q, ops = _probe_stats(graph, hash_function, 0.25)
+            rows.append((hash_function, 0.25, q, ops))
+        for lf in (1.0, 0.5, 0.125):
+            q, ops = _probe_stats(graph, "fibonacci", lf)
+            rows.append(("fibonacci", lf, q, ops))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["hash", "load factor", "final Q", "total work ops"],
+            [[h, lf, f"{q:.4f}", f"{ops:.3g}"] for h, lf, q, ops in rows],
+            title="Ablation: hash family x load factor (live parallel runs)",
+        )
+    )
+
+    by_key = {(h, lf): (q, ops) for h, lf, q, ops in rows}
+    # Correctness is hash-independent: identical modularity everywhere.
+    qs = {round(q, 9) for _, _, q, _ in rows}
+    assert len(qs) == 1, "hash choice must not change the result"
+    # Work ordering: the good hashes probe no more than the weak ones.
+    assert by_key[("fibonacci", 0.25)][1] <= by_key[("bitwise", 0.25)][1]
+    # Lower load factor -> fewer probes (paper §V-C2's memory/speed trade).
+    assert by_key[("fibonacci", 0.125)][1] <= by_key[("fibonacci", 1.0)][1]
+
+
+def test_ablation_key_packing_width(benchmark):
+    """shift=16 reproduces Eq. 5 exactly but overflows past 2^16 vertices."""
+
+    def run():
+        small = generate_lfr(
+            num_vertices=1500, avg_degree=12, max_degree=50, mixing=0.2, seed=5
+        ).graph
+        res16 = parallel_louvain(
+            small, ParallelLouvainConfig(num_ranks=4, key_shift=16)
+        )
+        res32 = parallel_louvain(
+            small, ParallelLouvainConfig(num_ranks=4, key_shift=32)
+        )
+        return small, res16, res32
+
+    small, res16, res32 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        "Key packing ablation: "
+        f"shift=16 Q={res16.final_modularity:.4f}, "
+        f"shift=32 Q={res32.final_modularity:.4f}"
+    )
+
+    # Identical results while ids fit 16 bits (the paper's regime)...
+    assert np.array_equal(res16.membership, res32.membership)
+    # ...and an explicit failure (not silent corruption) when they don't.
+    big_ids = np.array([0, 70000])
+    from repro.hashing import pack_key
+
+    with pytest.raises(ValueError):
+        pack_key(
+            big_ids.astype(np.uint64), big_ids.astype(np.uint64), shift=16
+        )

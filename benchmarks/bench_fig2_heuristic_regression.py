@@ -1,0 +1,39 @@
+"""Fig. 2 -- simulation analysis of the convergence heuristic.
+
+Traces the fraction of vertices moved per inner iteration of sequential
+Louvain over LFR graphs with varying (k, gamma, beta, mu), fits Eq. 7 by
+regression, and prints measured-vs-predicted decay.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.harness import format_series, run_fig2
+
+
+def test_fig2_migration_regression(benchmark):
+    res = once(benchmark, run_fig2, num_vertices=1000, runs_per_config=8, seed=0)
+
+    print()
+    print("Fig. 2: vertex update fraction vs inner iteration (LFR sweeps)")
+    max_len = max(len(t) for t in res.traces)
+    for it in range(min(max_len, 10)):
+        vals = [t[it] for t in res.traces if len(t) > it]
+        print(
+            f"  iter {it + 1}: measured mean={np.mean(vals):.4f} "
+            f"(n={len(vals)}, min={min(vals):.4f}, max={max(vals):.4f}) "
+            f"| eq7 prediction={res.predicted[it]:.4f}"
+        )
+    print(f"  fitted p1={res.fitted_p1:.4f}  p2={res.fitted_p2:.4f}")
+    print(format_series("eq7", list(range(1, len(res.predicted) + 1)), res.predicted))
+
+    # Inverse-exponential relationship: the first iteration moves most
+    # vertices, later iterations a vanishing fraction.
+    first = [t[0] for t in res.traces]
+    assert np.mean(first) > 0.5
+    late = [t[4] for t in res.traces if len(t) > 4]
+    assert np.mean(late) < 0.25 * np.mean(first)
+    # The fit must reproduce the decay direction and rough magnitude.
+    assert res.predicted[0] > 4 * res.predicted[-1] or res.predicted[-1] < 0.05
+    assert 0 < res.fitted_p1 < 1
+    assert res.fitted_p2 > 0

@@ -1,0 +1,53 @@
+"""Fig. 6 -- hash performance.
+
+(a-c) per-thread hashed entries / average bin length / maximum bin length
+for Fibonacci vs linear-congruential hashing of a 1D-partitioned R-MAT
+graph; (d) average bin length vs load factor.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.harness import run_fig6
+
+
+def test_fig6_hash_behavior(benchmark):
+    # Paper: scale-25 R-MAT over 16 nodes x 32 threads.  Same structure at
+    # laptop scale: scale-17 R-MAT, identical node/thread partitioning.
+    res = once(
+        benchmark, run_fig6,
+        rmat_scale=17, num_nodes=16, threads_per_node=32, load_factor=0.25,
+    )
+
+    print()
+    print("Fig. 6: per-(node,thread) hash statistics, R-MAT scale 17, 16x32")
+    for h in res.hash_names:
+        e, a, m = res.entries[h], res.avg_bin[h], res.max_bin[h]
+        print(
+            f"  {h:>20s}: entries/thread [{e.min()}, {e.max()}] "
+            f"(cv={e.std() / e.mean():.3f})  avg bin [{a.min():.2f}, {a.max():.2f}]  "
+            f"max bin [{m.min()}, {m.max()}]"
+        )
+    print("  (d) load factor sweep (fibonacci, node 0):")
+    for lf in sorted(res.load_factor_avg_bin, reverse=True):
+        a = res.load_factor_avg_bin[lf]
+        print(f"    load={lf:<6g} avg bin length mean={a.mean():.3f} max={a.max():.3f}")
+
+    fib_e = res.entries["fibonacci"]
+    lcg_e = res.entries["linear_congruential"]
+    # (a) same totals (both store the whole graph), Fibonacci at least as
+    # balanced across threads.
+    assert fib_e.sum() == lcg_e.sum()
+    cv_fib = fib_e.std() / fib_e.mean()
+    cv_lcg = lcg_e.std() / lcg_e.mean()
+    assert cv_fib <= cv_lcg * 1.5
+    # (b, c) Fibonacci bins are no longer than LCG's (paper: max 3 vs 6).
+    assert res.avg_bin["fibonacci"].mean() <= res.avg_bin["linear_congruential"].mean() + 0.05
+    assert res.max_bin["fibonacci"].max() <= res.max_bin["linear_congruential"].max()
+    # Average bin length in the paper's regime (~1-2 at load factor 1/4).
+    assert res.avg_bin["fibonacci"].mean() < 2.0
+    # (d) monotone: smaller load factor -> shorter bins, approaching 1 at 1/8.
+    lfs = sorted(res.load_factor_avg_bin, reverse=True)
+    means = [res.load_factor_avg_bin[lf].mean() for lf in lfs]
+    assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))
+    assert means[-1] < 1.15

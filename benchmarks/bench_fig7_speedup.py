@@ -1,0 +1,50 @@
+"""Fig. 7 -- speedup with medium and large social graphs.
+
+(a) thread speedup on a single P7-IH node (2-32 threads); (b, c) node
+speedup from 1 to 64 nodes, all relative to the modeled single-threaded
+sequential implementation, with per-rank work extrapolated to the real
+dataset sizes.
+"""
+
+from conftest import once
+
+from repro.harness import format_series, run_fig7_nodes, run_fig7_threads
+
+GRAPHS = ["LiveJournal", "Wikipedia", "UK-2005", "Twitter"]
+
+
+def test_fig7a_thread_speedup(benchmark):
+    curves = once(benchmark, run_fig7_threads, GRAPHS, scale=0.5)
+
+    print()
+    print("Fig. 7a: thread speedup on one P7-IH node (vs 1-thread sequential)")
+    for c in curves:
+        print("  " + format_series(c.graph, c.x, c.speedup, fmt="{:.1f}"))
+
+    for c in curves:
+        assert c.speedup == sorted(c.speedup), c.graph  # monotone
+        assert 4 < c.speedup[-1] < 32, c.graph  # substantial but sublinear
+
+
+def test_fig7bc_node_speedup(benchmark):
+    curves = once(
+        benchmark, run_fig7_nodes, GRAPHS,
+        node_counts=[1, 2, 4, 8, 16, 32, 64], scale=0.5,
+    )
+
+    print()
+    print("Fig. 7b/c: node speedup, 32 threads/node (vs 1-thread sequential)")
+    for c in curves:
+        print("  " + format_series(c.graph, c.x, c.speedup, fmt="{:.1f}"))
+
+    by_name = {c.graph: c for c in curves}
+    for c in curves:
+        # every graph gains from distribution at moderate node counts
+        assert max(c.speedup) > 2 * c.speedup[0], c.graph
+    # Large graphs keep scaling to 64 nodes; the medium ones saturate first
+    # (paper: UK-2005 reaches 49.8x at 64 nodes).
+    uk = by_name["UK-2005"]
+    assert uk.speedup[-1] == max(uk.speedup)
+    assert uk.speedup[-1] > 30
+    lj = by_name["LiveJournal"]
+    assert lj.speedup.index(max(lj.speedup)) < len(lj.x) - 1  # knee before 64

@@ -1,0 +1,56 @@
+"""Fig. 8 -- execution time breakdown with UK-2007.
+
+(a) per-outer-loop breakdown into REFINE and GRAPH RECONSTRUCTION;
+(b) per-inner-iteration breakdown of the first outer loop into FIND BEST
+COMMUNITY / UPDATE COMMUNITY INFORMATION / STATE PROPAGATION -- modeled on
+the P7-IH machine at several node counts.
+"""
+
+from conftest import once
+
+from repro.harness import run_fig8
+
+
+def test_fig8_time_breakdown(benchmark):
+    res = once(
+        benchmark, run_fig8,
+        graph_name="UK-2007", node_counts=[32, 64, 128], scale=1.0,
+    )
+
+    print()
+    print("Fig. 8a: outer-loop breakdown (modeled seconds, UK-2007 proxy)")
+    for nodes, levels in zip(res.node_counts, res.outer_breakdown):
+        print(f"  {nodes} nodes:")
+        for i, phases in enumerate(levels):
+            row = "  ".join(f"{k}={v:.3f}s" for k, v in sorted(phases.items()))
+            print(f"    level {i}: {row}")
+    print("Fig. 8b: inner-loop breakdown, first outer loop (128 nodes)")
+    for i, phases in enumerate(res.inner_breakdown[-1][:8]):
+        row = "  ".join(f"{k}={v:.4f}s" for k, v in sorted(phases.items()))
+        print(f"    iter {i + 1}: {row}")
+    print(f"  modularity per node count: {[round(q, 3) for q in res.modularities]}")
+
+    for nodes, levels in zip(res.node_counts, res.outer_breakdown):
+        refine = sum(lv.get("REFINE", 0.0) for lv in levels)
+        recon = sum(lv.get("GRAPH_RECONSTRUCTION", 0.0) for lv in levels)
+        # Paper: REFINE dominates; GRAPH RECONSTRUCTION is negligible.
+        assert refine > 5 * recon, f"{nodes} nodes"
+        # Paper: the first outer loop takes >90% of the total.
+        t0 = sum(levels[0].values())
+        total = sum(sum(lv.values()) for lv in levels)
+        assert t0 > 0.6 * total, f"{nodes} nodes"
+
+    # More nodes -> faster inner loops (strong scaling of the breakdown).
+    first_iter_cost = [
+        sum(inner[0].values()) for inner in res.inner_breakdown if inner
+    ]
+    assert first_iter_cost[-1] < first_iter_cost[0]
+
+    # Fig. 8b: FIND_BEST / UPDATE shrink across iterations as vertices
+    # settle, while STATE_PROPAGATION stays roughly flat.
+    inner = res.inner_breakdown[-1]
+    if len(inner) >= 4:
+        fb = [it.get("FIND_BEST", 0.0) for it in inner]
+        sp = [it.get("STATE_PROPAGATION", 0.0) for it in inner]
+        assert fb[0] >= fb[-1] * 0.9
+        assert max(sp) < 4 * min(x for x in sp if x > 0)

@@ -1,0 +1,113 @@
+"""Fig. 9 -- scaling analysis (weak and strong, GTEPS).
+
+(a) weak scaling: R-MAT on the BG/Q model and BTER (two GCC settings) on
+the P7-IH model, fixed per-node workload; (b) strong scaling of UK-2007 on
+P7-IH; (c) strong scaling of R-MAT.  TEPS = input edges / modeled time of
+the first level, with per-rank work extrapolated to the paper's per-node
+workloads (R-MAT 2^24 edges/node, BTER 2^26 edges/node).
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.harness import format_series, run_fig9_strong, run_fig9_weak
+from repro.runtime import BGQ, P7IH
+
+
+def _print_curve(curve):
+    xs = [p.nodes for p in curve.points]
+    print("  " + format_series(
+        f"{curve.label} ({curve.machine}) GTEPS", xs,
+        [p.gteps for p in curve.points], fmt="{:.4f}",
+    ))
+    print("  " + format_series(
+        "    first-level seconds", xs,
+        [p.first_level_seconds for p in curve.points], fmt="{:.2f}",
+    ))
+
+
+def test_fig9a_weak_scaling(benchmark):
+    def run():
+        rmat = run_fig9_weak(
+            node_counts=[2, 4, 8, 16, 32],
+            vertices_per_node=1024,
+            machine=BGQ,
+            generator="rmat",
+        )
+        bter_lo = run_fig9_weak(
+            node_counts=[2, 4, 8, 16, 32],
+            vertices_per_node=512,
+            machine=P7IH,
+            generator="bter",
+            bter_rho=0.55,  # measured GCC ~= 0.15 at these parameters
+        )
+        bter_hi = run_fig9_weak(
+            node_counts=[2, 4, 8, 16, 32],
+            vertices_per_node=512,
+            machine=P7IH,
+            generator="bter",
+            bter_rho=0.88,  # measured GCC ~= 0.55 at these parameters
+        )
+        return rmat, bter_lo, bter_hi
+
+    rmat, bter_lo, bter_hi = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Fig. 9a: weak scaling")
+    for c in (rmat, bter_lo, bter_hi):
+        _print_curve(c)
+    print(
+        f"  BTER modularity: GCC~0.15 -> {bter_lo.points[-1].modularity:.3f}, "
+        f"GCC~0.55 -> {bter_hi.points[-1].modularity:.3f} "
+        "(paper: 0.693 and 0.926)"
+    )
+
+    for curve in (rmat, bter_lo, bter_hi):
+        g = [p.gteps for p in curve.points]
+        n = [p.nodes for p in curve.points]
+        # processing rate grows with node count...
+        assert all(a < b for a, b in zip(g, g[1:])), curve.label
+        # ...roughly proportionally (within 3x of linear across the sweep).
+        growth = (g[-1] / g[0]) / (n[-1] / n[0])
+        assert growth > 1 / 3, curve.label
+
+    # Paper: higher GCC -> higher modularity and slightly faster processing.
+    assert bter_hi.points[-1].modularity > bter_lo.points[-1].modularity + 0.1
+    assert bter_hi.points[-1].gteps > 0.5 * bter_lo.points[-1].gteps
+
+
+def test_fig9b_strong_scaling_uk2007(benchmark):
+    curve = once(
+        benchmark, run_fig9_strong,
+        node_counts=[4, 8, 16, 32, 64], machine=P7IH,
+        graph_name="UK-2007", scale=1.0,
+    )
+
+    print()
+    print("Fig. 9b: strong scaling, UK-2007 (3.78G edges extrapolated)")
+    _print_curve(curve)
+
+    g = [p.gteps for p in curve.points]
+    assert all(a < b for a, b in zip(g, g[1:]))  # monotone speedup
+    # sublinear: doubling nodes never doubles the rate at the top end
+    assert g[-1] / g[-2] < 2.0
+
+
+def test_fig9c_strong_scaling_rmat(benchmark):
+    curve = once(
+        benchmark, run_fig9_strong,
+        node_counts=[4, 8, 16, 32], machine=BGQ, rmat_scale=15,
+    )
+
+    print()
+    print("Fig. 9c: strong scaling, R-MAT (scale-30 workload extrapolated)")
+    _print_curve(curve)
+
+    g = [p.gteps for p in curve.points]
+    assert all(a < b for a, b in zip(g, g[1:]))
+    # Paper: strong-scaled R-MAT rate is below the weak-scaled rate at the
+    # same node count ("the problem scale is not big enough").
+    weak = run_fig9_weak(
+        node_counts=[32], vertices_per_node=1024, machine=BGQ, generator="rmat"
+    )
+    assert g[-1] < weak.points[0].gteps * 1.5

@@ -1,0 +1,45 @@
+"""Table IV -- performance results of UK-2007 versus the literature.
+
+Runs the UK-2007 proxy on the 128-node P7-IH model (per-rank work
+extrapolated to the real 3.78 G-edge dataset) and prints our row next to
+the paper's recorded literature rows.
+"""
+
+from conftest import once
+
+from repro.harness import format_table, run_table4
+
+
+def test_table4_uk2007_comparison(benchmark):
+    res = once(benchmark, run_table4, nodes=128, scale=1.0)
+
+    print()
+    rows = [
+        [lit["reference"], f"{lit['time_s']:.1f}",
+         lit["modularity"] if lit["modularity"] is not None else "N/A",
+         lit["processors"]]
+        for lit in res.literature
+    ]
+    rows.append(
+        ["This reproduction (modeled)", f"{res.our_time_s:.1f}",
+         f"{res.our_modularity:.3f}", f"{res.nodes} simulated P7-IH nodes"]
+    )
+    print(
+        format_table(
+            ["Reference", "Time (s)", "Modularity", "Processors"],
+            rows,
+            title="Table IV: UK-2007 performance vs the literature",
+        )
+    )
+    print(f"  note: {res.note}")
+
+    paper_row = next(r for r in res.literature if "paper" in r["reference"])
+    # Shape claims: our modeled run beats every literature baseline by a
+    # wide margin and lands within ~4x of the paper's own 44.9 s.
+    slowest_lit = max(
+        r["time_s"] for r in res.literature if r is not paper_row
+    )
+    assert res.our_time_s < slowest_lit / 5
+    assert paper_row["time_s"] / 4 < res.our_time_s < paper_row["time_s"] * 4
+    # Modularity in the high-0.8s/0.9s band (paper: 0.996 on the real crawl).
+    assert res.our_modularity > 0.85

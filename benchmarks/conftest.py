@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure: it runs the harness
+experiment once (timed by pytest-benchmark), prints the paper-shaped
+rows/series, and asserts the qualitative claims.  Heavy experiments use
+``benchmark.pedantic`` with a single round; pytest-benchmark still reports
+the wall time of the full experiment.
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

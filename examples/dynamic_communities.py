@@ -1,0 +1,72 @@
+"""Maintaining communities on a dynamically changing graph (paper §VII).
+
+The paper's two-table design exists because "the topology of the graph
+changes very frequently" in real workloads.  This example simulates a stream
+of edge churn (friend/unfriend events on a social network), repairing the
+communities after each batch with a warm-started REFINE instead of
+recomputing from scratch -- and measures how much work that saves.
+
+Run:  python examples/dynamic_communities.py
+"""
+
+import numpy as np
+
+from repro.generators import generate_lfr
+from repro.metrics import normalized_mutual_information
+from repro.parallel import EdgeBatch, incremental_louvain, parallel_louvain
+
+
+def random_batch(graph, rng, churn_fraction=0.01) -> EdgeBatch:
+    """A churn batch: add and remove ~churn_fraction of the edges."""
+    k = max(1, int(graph.num_edges * churn_fraction))
+    src, dst, _ = graph.edge_arrays()
+    drop = rng.choice(src.size, k, replace=False)
+    return EdgeBatch(
+        add_src=rng.integers(0, graph.num_vertices, k),
+        add_dst=rng.integers(0, graph.num_vertices, k),
+        remove_src=src[drop],
+        remove_dst=dst[drop],
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    lfr = generate_lfr(
+        num_vertices=1500, avg_degree=14, max_degree=50, mixing=0.2,
+        min_community=20, max_community=150, seed=11,
+    )
+    graph = lfr.graph
+    print(f"initial graph: {graph.num_vertices} vertices / {graph.num_edges} edges")
+
+    result = parallel_louvain(graph, num_ranks=8)
+    print(
+        f"initial detection: Q={result.final_modularity:.4f}, "
+        f"{len(result.levels[0].iterations)} level-0 iterations (cold start)"
+    )
+
+    print(f"\n{'batch':>5s} {'edges +/-':>10s} {'warm iters':>10s} "
+          f"{'cold iters':>10s} {'warm Q':>8s} {'cold Q':>8s} {'NMI prev':>8s}")
+    membership = result.membership
+    for step in range(1, 6):
+        batch = random_batch(graph, rng, churn_fraction=0.01)
+        graph, warm = incremental_louvain(graph, batch, membership, num_ranks=8)
+        cold = parallel_louvain(graph, num_ranks=8)
+        nmi = normalized_mutual_information(warm.membership, membership)
+        print(
+            f"{step:>5d} {batch.num_additions:>4d}/{batch.num_removals:<4d} "
+            f"{len(warm.levels[0].iterations):>10d} "
+            f"{len(cold.levels[0].iterations):>10d} "
+            f"{warm.final_modularity:>8.4f} {cold.final_modularity:>8.4f} "
+            f"{nmi:>8.3f}"
+        )
+        membership = warm.membership
+
+    print(
+        "\nWarm restarts repair each 1% churn batch in a handful of inner"
+        "\niterations at full from-scratch quality -- the dynamic-graph"
+        "\nworkflow the paper's hash-table representation was built for."
+    )
+
+
+if __name__ == "__main__":
+    main()

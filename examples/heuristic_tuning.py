@@ -1,0 +1,76 @@
+"""Tuning the convergence heuristic (paper §IV-B methodology).
+
+Reproduces the paper's workflow for deriving Eq. 7: trace how many vertices
+the *sequential* algorithm moves per inner sweep on LFR graphs, fit the
+exponential-decay schedule by regression, then compare the fitted schedule
+against the naive (no-throttle) variant and two ablation schedules on a
+fresh graph.
+
+Run:  python examples/heuristic_tuning.py
+"""
+
+from repro.generators import generate_lfr
+from repro.parallel import (
+    ConstantSchedule,
+    LinearDecaySchedule,
+    fit_schedule,
+    naive_parallel_louvain,
+    parallel_louvain,
+)
+from repro.sequential import louvain as sequential_louvain
+
+
+def main() -> None:
+    # 1. Collect migration traces over a small LFR sweep (the paper uses
+    #    100 runs per configuration; a handful is enough to see the decay).
+    traces = []
+    for mu in (0.1, 0.3, 0.5):
+        for seed in range(3):
+            lfr = generate_lfr(
+                num_vertices=1000, avg_degree=16, max_degree=64, mixing=mu,
+                seed=100 * seed + int(mu * 10),
+            )
+            res = sequential_louvain(lfr.graph, seed=seed, max_levels=1)
+            traces.append(list(res.traces[0].moved_fraction))
+    print("example migration traces (fraction moved per sweep):")
+    for t in traces[:3]:
+        print("  " + " ".join(f"{x:.3f}" for x in t))
+
+    # 2. Fit Eq. 7: eps = p1 * exp(1 / (p2 * iter)).
+    fitted = fit_schedule(traces)
+    print(f"\nfitted schedule: p1={fitted.p1:.4f}, p2={fitted.p2:.4f}")
+    print("  eps(iter):", " ".join(f"{fitted.epsilon(i):.3f}" for i in range(1, 9)))
+
+    # 3. Race the schedules on a fresh graph.
+    test_graph = generate_lfr(
+        num_vertices=2000, avg_degree=16, max_degree=64, mixing=0.3, seed=999
+    ).graph
+    contenders = {
+        "fitted Eq.7": lambda: parallel_louvain(test_graph, num_ranks=8, schedule=fitted),
+        "default Eq.7": lambda: parallel_louvain(test_graph, num_ranks=8),
+        "constant 30%": lambda: parallel_louvain(
+            test_graph, num_ranks=8, schedule=ConstantSchedule(0.3)
+        ),
+        "linear decay": lambda: parallel_louvain(
+            test_graph, num_ranks=8, schedule=LinearDecaySchedule(rate=0.25, floor=0.02)
+        ),
+        "naive (none)": lambda: naive_parallel_louvain(
+            test_graph, num_ranks=8, max_inner=12, max_levels=5
+        ),
+    }
+    print(f"\n{'schedule':<14s} {'final Q':>8s} {'levels':>7s} {'level-0 iters':>14s}")
+    for name, run in contenders.items():
+        res = run()
+        iters = len(res.levels[0].iterations) if res.levels else 0
+        print(
+            f"{name:<14s} {res.final_modularity:>8.4f} {res.num_levels:>7d} {iters:>14d}"
+        )
+    print(
+        "\nThe throttled schedules all converge to comparable modularity; the"
+        "\nnaive variant (every positive-gain vertex moves at once) stalls --"
+        "\nthe paper's central Fig. 4 observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

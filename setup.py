@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This shim lets
+``python setup.py develop`` / legacy editable installs work offline.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

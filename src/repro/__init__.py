@@ -1,0 +1,57 @@
+"""repro -- reproduction of "Scalable Community Detection with the Louvain
+Algorithm" (Que, Checconi, Petrini, Gunnels; IEEE IPDPS 2015).
+
+Public API highlights
+---------------------
+
+* :func:`repro.detect_communities` -- one-call community detection
+  (parallel / sequential / naive), optional machine-model timing.
+* :mod:`repro.graph` -- CSR weighted graph container and I/O.
+* :mod:`repro.generators` -- LFR, R-MAT, BTER and Table-I proxy graphs.
+* :mod:`repro.parallel` -- the paper's algorithm: hash-table-backed
+  distributed Louvain with the Eq.-7 convergence heuristic.
+* :mod:`repro.sequential` -- the Algorithm-1 baseline.
+* :mod:`repro.metrics` -- modularity and all Table II/III quality metrics.
+* :mod:`repro.runtime` -- the simulated SPMD runtime and machine models.
+* :mod:`repro.harness` -- one experiment runner per paper table/figure.
+"""
+
+from . import generators, graph, harness, hashing, metrics, parallel, runtime, sequential
+from .graph import Graph
+from .metrics import modularity
+from .parallel import (
+    DetectionSummary,
+    ExponentialSchedule,
+    ParallelLouvainConfig,
+    detect_communities,
+    naive_parallel_louvain,
+    parallel_louvain,
+)
+from .runtime import BGQ, P7IH, MachineModel
+from .sequential import louvain as sequential_louvain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "modularity",
+    "detect_communities",
+    "DetectionSummary",
+    "parallel_louvain",
+    "naive_parallel_louvain",
+    "sequential_louvain",
+    "ParallelLouvainConfig",
+    "ExponentialSchedule",
+    "MachineModel",
+    "P7IH",
+    "BGQ",
+    "graph",
+    "hashing",
+    "generators",
+    "metrics",
+    "sequential",
+    "runtime",
+    "parallel",
+    "harness",
+    "__version__",
+]

@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four subcommands cover the library's main workflows:
+
+* ``detect``      -- community detection on an edge-list file;
+* ``generate``    -- write an LFR / R-MAT / BTER / proxy graph to disk;
+* ``info``        -- structural statistics of an edge-list file;
+* ``experiment``  -- regenerate one of the paper's tables/figures by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Scalable Community Detection with the Louvain "
+            "Algorithm' (Que et al., IPDPS 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="detect communities in an edge list")
+    detect.add_argument("input", help="edge-list file (src dst [weight] per line)")
+    detect.add_argument(
+        "--algorithm",
+        choices=["parallel", "sequential", "naive", "lpa"],
+        default="parallel",
+    )
+    detect.add_argument("--ranks", type=int, default=4, help="simulated rank count")
+    detect.add_argument(
+        "--machine", choices=["p7ih", "bgq"], default=None,
+        help="attach modeled execution times for this machine",
+    )
+    detect.add_argument("--seed", type=int, default=0)
+    detect.add_argument("--output", help="write 'vertex community' lines here")
+    detect.add_argument("--dendrogram", help="write the hierarchy as JSON here")
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument(
+        "family", choices=["lfr", "rmat", "bter"], help="generator family"
+    )
+    gen.add_argument("--output", required=True, help="edge-list output path")
+    gen.add_argument("--vertices", type=int, default=1000)
+    gen.add_argument("--avg-degree", type=float, default=16.0)
+    gen.add_argument("--max-degree", type=int, default=64)
+    gen.add_argument("--mixing", type=float, default=0.3, help="LFR mu")
+    gen.add_argument("--scale", type=int, default=10, help="R-MAT scale (2^s vertices)")
+    gen.add_argument("--edge-factor", type=int, default=16, help="R-MAT edges/vertex")
+    gen.add_argument("--rho", type=float, default=0.6, help="BTER block density")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--ground-truth", help="also write planted communities here (LFR only)"
+    )
+
+    info = sub.add_parser("info", help="structural statistics of an edge list")
+    info.add_argument("input")
+    info.add_argument(
+        "--clustering", action="store_true",
+        help="also compute the global clustering coefficient (slow on big graphs)",
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument(
+        "id",
+        choices=[
+            "table1", "fig2", "fig4", "fig5", "table3",
+            "fig6", "fig7", "fig8", "table4", "fig9",
+        ],
+    )
+    exp.add_argument(
+        "--scale", type=float, default=0.5,
+        help="proxy size multiplier (1.0 = full laptop scale)",
+    )
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------- #
+
+
+def _cmd_detect(args) -> int:
+    from .graph import read_edge_list
+    from .metrics import modularity
+    from .parallel import build_dendrogram, detect_communities, label_propagation
+    from .runtime import BGQ, P7IH
+
+    graph = read_edge_list(args.input)
+    print(f"loaded {graph.num_vertices} vertices / {graph.num_edges} edges")
+    machine = {"p7ih": P7IH, "bgq": BGQ, None: None}[args.machine]
+    t0 = time.perf_counter()
+    if args.algorithm == "lpa":
+        res = label_propagation(graph, num_ranks=args.ranks, seed=args.seed)
+        membership = res.membership
+        q = modularity(graph, membership)
+        print(
+            f"label propagation: Q={q:.4f}, {res.num_communities} communities, "
+            f"{res.iterations} iterations"
+        )
+        raw = None
+    else:
+        summary = detect_communities(
+            graph, algorithm=args.algorithm, num_ranks=args.ranks,
+            machine=machine, seed=args.seed,
+        )
+        membership = summary.membership
+        print(
+            f"{summary.algorithm}: Q={summary.modularity:.4f}, "
+            f"{summary.num_communities} communities, {summary.num_levels} levels"
+        )
+        if summary.modeled_total_seconds is not None:
+            print(f"modeled {machine.name} time: {summary.modeled_total_seconds:.4f}s")
+        raw = summary.raw
+    print(f"wall clock: {time.perf_counter() - t0:.2f}s")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("# vertex community\n")
+            for v, c in enumerate(membership.tolist()):
+                fh.write(f"{v} {c}\n")
+        print(f"wrote {args.output}")
+    if args.dendrogram:
+        if raw is None:
+            print("--dendrogram requires a Louvain algorithm", file=sys.stderr)
+            return 2
+        with open(args.dendrogram, "w", encoding="utf-8") as fh:
+            fh.write(build_dendrogram(raw).to_json())
+        print(f"wrote {args.dendrogram}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .generators import (
+        BTERParams,
+        LFRParams,
+        RMATParams,
+        generate_bter,
+        generate_lfr,
+        generate_rmat,
+    )
+    from .graph import write_edge_list
+
+    ground_truth = None
+    if args.family == "lfr":
+        inst = generate_lfr(
+            LFRParams(
+                num_vertices=args.vertices,
+                avg_degree=args.avg_degree,
+                max_degree=args.max_degree,
+                mixing=args.mixing,
+            ),
+            seed=args.seed,
+        )
+        graph, ground_truth = inst.graph, inst.ground_truth
+    elif args.family == "rmat":
+        graph = generate_rmat(
+            RMATParams(scale=args.scale, edge_factor=args.edge_factor), seed=args.seed
+        )
+    else:
+        graph = generate_bter(
+            BTERParams(
+                num_vertices=args.vertices,
+                avg_degree=args.avg_degree,
+                max_degree=args.max_degree,
+                rho=args.rho,
+            ),
+            seed=args.seed,
+        ).graph
+    write_edge_list(graph, args.output, write_weights=False)
+    print(
+        f"wrote {args.output}: {graph.num_vertices} vertices / {graph.num_edges} edges"
+    )
+    if args.ground_truth:
+        if ground_truth is None:
+            print("--ground-truth is only available for LFR", file=sys.stderr)
+            return 2
+        with open(args.ground_truth, "w", encoding="utf-8") as fh:
+            fh.write("# vertex community\n")
+            for v, c in enumerate(ground_truth.tolist()):
+                fh.write(f"{v} {c}\n")
+        print(f"wrote {args.ground_truth}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .graph import (
+        approximate_diameter,
+        connected_components,
+        global_clustering_coefficient,
+        read_edge_list,
+    )
+
+    graph = read_edge_list(args.input)
+    deg = graph.degrees()
+    comps = connected_components(graph)
+    print(f"vertices          : {graph.num_vertices}")
+    print(f"edges             : {graph.num_edges}")
+    print(f"total weight (m)  : {graph.total_weight:g}")
+    if deg.size:
+        print(f"degree min/avg/max: {deg.min()} / {deg.mean():.2f} / {deg.max()}")
+    print(f"components        : {np.unique(comps).size}")
+    print(f"diameter (approx) : >= {approximate_diameter(graph)}")
+    if args.clustering:
+        print(f"global clustering : {global_clustering_coefficient(graph):.4f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import harness as hx
+
+    scale = args.scale
+    if args.id == "table1":
+        rows = hx.run_table1(scale=scale)
+        print(hx.format_table(
+            ["Category", "Size", "Name", "Orig |V|", "Orig |E|", "Proxy |V|", "Proxy |E|"],
+            [[r.category, r.size_class, r.name, r.orig_vertices, r.orig_edges,
+              r.proxy_vertices, r.proxy_edges] for r in rows],
+            title="Table I",
+        ))
+    elif args.id == "fig2":
+        res = hx.run_fig2(num_vertices=int(800 * scale) or 300, runs_per_config=4)
+        print(f"fitted p1={res.fitted_p1:.4f} p2={res.fitted_p2:.4f}")
+        print(hx.format_series(
+            "eq7", list(range(1, len(res.predicted) + 1)), res.predicted
+        ))
+    elif args.id == "fig4":
+        rows = hx.run_fig4(scale=scale)
+        for r in rows:
+            print(
+                f"{r.graph:<12s} seq={r.sequential_q[-1]:.3f} "
+                f"par={r.parallel_q[-1]:.3f} naive={r.naive_q[-1]:.3f} "
+                f"merge@1={r.first_level_merge_fraction:.1%}"
+            )
+    elif args.id == "fig5":
+        for r in hx.run_fig5(scale=scale):
+            print(f"{r.graph}: largest seq={r.seq_largest} par={r.par_largest}")
+    elif args.id == "table3":
+        rows = hx.run_table3(scale=scale)
+        print(hx.format_table(
+            ["Graphs", "NMI", "F-measure", "NVD", "RI", "ARI", "JI"],
+            [[r.graph, *[f"{v:.4f}" for v in r.report.as_dict().values()]] for r in rows],
+            title="Table III",
+        ))
+    elif args.id == "fig6":
+        res = hx.run_fig6(rmat_scale=max(12, int(17 * scale)))
+        for h in res.hash_names:
+            print(
+                f"{h}: avg bin {res.avg_bin[h].mean():.2f}, "
+                f"max bin {res.max_bin[h].max()}"
+            )
+    elif args.id == "fig7":
+        for c in hx.run_fig7_threads(scale=scale):
+            print("threads " + hx.format_series(c.graph, c.x, c.speedup, fmt="{:.1f}"))
+        for c in hx.run_fig7_nodes(scale=scale, node_counts=[1, 4, 16, 64]):
+            print("nodes   " + hx.format_series(c.graph, c.x, c.speedup, fmt="{:.1f}"))
+    elif args.id == "fig8":
+        res = hx.run_fig8(node_counts=[32], scale=scale)
+        for i, phases in enumerate(res.outer_breakdown[0]):
+            print(f"level {i}: " + "  ".join(f"{k}={v:.3f}s" for k, v in sorted(phases.items())))
+    elif args.id == "table4":
+        res = hx.run_table4(nodes=64, scale=scale)
+        print(f"modeled UK-2007: {res.our_time_s:.1f}s, Q={res.our_modularity:.3f}")
+        print(f"({res.note})")
+    elif args.id == "fig9":
+        from .runtime import BGQ
+
+        curve = hx.run_fig9_weak(
+            node_counts=[2, 4, 8, 16], vertices_per_node=int(512 * scale) or 128,
+            machine=BGQ,
+        )
+        print(hx.format_series(
+            curve.label + " GTEPS", [p.nodes for p in curve.points],
+            [p.gteps for p in curve.points],
+        ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "detect": _cmd_detect,
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Truncated power-law samplers shared by the LFR / BTER / proxy generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_powerlaw", "powerlaw_degrees_with_mean", "expected_powerlaw_mean"]
+
+
+def sample_powerlaw(
+    rng: np.random.Generator,
+    size: int,
+    exponent: float,
+    low: int,
+    high: int,
+) -> np.ndarray:
+    """Sample integers from ``P(x) ∝ x^-exponent`` on ``[low, high]``.
+
+    Uses the continuous inverse-CDF transform and rounds down, which is the
+    standard LFR-generator approach.
+    """
+    if low < 1 or high < low:
+        raise ValueError("need 1 <= low <= high")
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    u = rng.random(size)
+    a, b = float(low), float(high) + 1.0
+    if abs(exponent - 1.0) < 1e-9:
+        x = a * (b / a) ** u
+    else:
+        p = 1.0 - exponent
+        x = (a**p + u * (b**p - a**p)) ** (1.0 / p)
+    return np.clip(np.floor(x).astype(np.int64), low, high)
+
+
+def expected_powerlaw_mean(exponent: float, low: int, high: int) -> float:
+    """Mean of the (discretized) truncated power law used above."""
+    xs = np.arange(low, high + 1, dtype=np.float64)
+    w = xs**-exponent
+    return float((xs * w).sum() / w.sum())
+
+
+def powerlaw_degrees_with_mean(
+    rng: np.random.Generator,
+    size: int,
+    exponent: float,
+    target_mean: float,
+    max_value: int,
+) -> np.ndarray:
+    """Power-law degrees whose realized mean approximates ``target_mean``.
+
+    Binary-searches the lower cutoff (the LFR generator's strategy), then
+    nudges individual samples to land the realized mean within ~2%.
+    """
+    if target_mean >= max_value:
+        raise ValueError("target mean must be below the maximum degree")
+    lo, hi = 1, max_value
+    best_low = 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        mean = expected_powerlaw_mean(exponent, mid, max_value)
+        if mean < target_mean:
+            lo = mid + 1
+            best_low = mid
+        else:
+            hi = mid - 1
+    # Pick the cutoff (best_low or best_low+1) whose expectation is closest.
+    cand = [best_low]
+    if best_low + 1 <= max_value:
+        cand.append(best_low + 1)
+    best_low = min(
+        cand,
+        key=lambda c: abs(expected_powerlaw_mean(exponent, c, max_value) - target_mean),
+    )
+    degrees = sample_powerlaw(rng, size, exponent, best_low, max_value)
+    # Trim sampling and discretization drift: nudge random entries toward the
+    # target total.  A few passes suffice; each pass fixes most of the drift.
+    want_total = int(round(target_mean * size))
+    for _ in range(8):
+        drift = want_total - int(degrees.sum())
+        if abs(drift) <= max(1, size // 500):
+            break
+        if drift > 0:
+            idx = rng.integers(0, size, size=drift)
+            room = degrees[idx] < max_value
+            np.add.at(degrees, idx[room], 1)
+        else:
+            idx = rng.integers(0, size, size=-drift)
+            room = degrees[idx] > 1
+            np.subtract.at(degrees, idx[room], 1)
+        # idx may repeat, so a single pass can overshoot the bounds; clip and
+        # let the next pass absorb the residual drift.
+        np.clip(degrees, 1, max_value, out=degrees)
+    return degrees

@@ -1,0 +1,47 @@
+"""Graph substrate: CSR container, I/O and structural operations."""
+
+from .adjacency import Graph, coalesce_edges
+from .builders import (
+    clique,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    planted_partition,
+    ring_of_cliques,
+    star_graph,
+)
+from .io import load_npz, read_edge_list, save_npz, write_edge_list
+from .ops import (
+    approximate_diameter,
+    connected_components,
+    degree_histogram,
+    global_clustering_coefficient,
+    largest_component,
+    relabel_contiguous,
+    remove_self_loops,
+    subgraph,
+)
+
+__all__ = [
+    "Graph",
+    "coalesce_edges",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "connected_components",
+    "largest_component",
+    "subgraph",
+    "global_clustering_coefficient",
+    "degree_histogram",
+    "approximate_diameter",
+    "remove_self_loops",
+    "relabel_contiguous",
+    "clique",
+    "ring_of_cliques",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "grid_graph",
+    "planted_partition",
+]

@@ -1,0 +1,122 @@
+"""Deterministic toy-graph builders.
+
+Small graphs with known community structure and exactly computable metrics:
+used heavily in tests, handy for demos and for sanity-checking detection
+pipelines before running real workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .adjacency import Graph
+
+__all__ = [
+    "clique",
+    "ring_of_cliques",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "grid_graph",
+    "planted_partition",
+]
+
+
+def clique(size: int, *, weight: float = 1.0) -> Graph:
+    """Complete graph on ``size`` vertices."""
+    if size < 1:
+        raise ValueError("size must be positive")
+    src, dst = np.triu_indices(size, k=1)
+    return Graph.from_edges(src, dst, weight, num_vertices=size)
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """``num_cliques`` cliques joined in a ring by single bridge edges.
+
+    The canonical modularity test case: the natural partition is one
+    community per clique, and its modularity has a closed form.
+    """
+    if num_cliques < 2 or clique_size < 2:
+        raise ValueError("need at least 2 cliques of size >= 2")
+    src_parts, dst_parts = [], []
+    for c in range(num_cliques):
+        base = c * clique_size
+        s, d = np.triu_indices(clique_size, k=1)
+        src_parts.append(s + base)
+        dst_parts.append(d + base)
+    # bridges: last vertex of clique c to first vertex of clique c+1
+    bridges_src = np.array(
+        [c * clique_size + clique_size - 1 for c in range(num_cliques)]
+    )
+    bridges_dst = np.array(
+        [((c + 1) % num_cliques) * clique_size for c in range(num_cliques)]
+    )
+    src = np.concatenate(src_parts + [bridges_src])
+    dst = np.concatenate(dst_parts + [bridges_dst])
+    return Graph.from_edges(src, dst, num_vertices=num_cliques * clique_size)
+
+
+def path_graph(n: int) -> Graph:
+    if n < 1:
+        raise ValueError("n must be positive")
+    idx = np.arange(n - 1)
+    return Graph.from_edges(idx, idx + 1, num_vertices=n)
+
+
+def cycle_graph(n: int) -> Graph:
+    if n < 3:
+        raise ValueError("cycles need n >= 3")
+    idx = np.arange(n)
+    return Graph.from_edges(idx, (idx + 1) % n, num_vertices=n)
+
+
+def star_graph(leaves: int) -> Graph:
+    """Vertex 0 connected to ``leaves`` leaf vertices."""
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    return Graph.from_edges(
+        np.zeros(leaves, dtype=np.int64),
+        np.arange(1, leaves + 1),
+        num_vertices=leaves + 1,
+    )
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """4-connected grid; vertex ``(r, c)`` has id ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    src, dst = [], []
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    src.append(ids[:, :-1].ravel())
+    dst.append(ids[:, 1:].ravel())
+    src.append(ids[:-1, :].ravel())
+    dst.append(ids[1:, :].ravel())
+    return Graph.from_edges(
+        np.concatenate(src), np.concatenate(dst), num_vertices=rows * cols
+    )
+
+
+def planted_partition(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int | None = 0,
+) -> tuple[Graph, np.ndarray]:
+    """Classic planted-partition model; returns ``(graph, ground_truth)``.
+
+    Every intra-community pair is an edge with probability ``p_in``, every
+    inter-community pair with ``p_out``.
+    """
+    if not (0 <= p_out <= p_in <= 1):
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    rng = np.random.default_rng(seed)
+    n = num_communities * community_size
+    labels = np.repeat(np.arange(num_communities), community_size)
+    src, dst = np.triu_indices(n, k=1)
+    same = labels[src] == labels[dst]
+    p = np.where(same, p_in, p_out)
+    keep = rng.random(src.size) < p
+    graph = Graph.from_edges(src[keep], dst[keep], num_vertices=n)
+    return graph, labels

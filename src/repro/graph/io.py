@@ -1,0 +1,93 @@
+"""Edge-list I/O for :class:`repro.graph.Graph`.
+
+Supports the two formats used by the experiment harness:
+
+* plain whitespace-separated edge lists (``u v [w]`` per line, ``#`` comments),
+  the format used by SNAP datasets the paper evaluates on;
+* a compact ``.npz`` binary format for regenerating benchmark inputs quickly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .adjacency import Graph
+
+__all__ = ["read_edge_list", "write_edge_list", "save_npz", "load_npz"]
+
+
+def read_edge_list(
+    path_or_buffer,
+    *,
+    comments: str = "#",
+    num_vertices: int | None = None,
+) -> Graph:
+    """Read a whitespace-separated edge list into a :class:`Graph`.
+
+    Lines have 2 or 3 columns (``src dst [weight]``); blank lines and lines
+    starting with ``comments`` are ignored.  Vertex ids must be non-negative
+    integers.
+    """
+    if isinstance(path_or_buffer, (str, Path)):
+        with open(path_or_buffer, "r", encoding="utf-8") as fh:
+            return read_edge_list(fh, comments=comments, num_vertices=num_vertices)
+
+    src, dst, wt = [], [], []
+    for lineno, raw in enumerate(path_or_buffer, start=1):
+        line = raw.strip()
+        if not line or line.startswith(comments):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise ValueError(f"line {lineno}: expected 2 or 3 columns, got {len(parts)}")
+        src.append(int(parts[0]))
+        dst.append(int(parts[1]))
+        wt.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    return Graph.from_edges(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(wt, dtype=np.float64),
+        num_vertices=num_vertices,
+    )
+
+
+def write_edge_list(graph: Graph, path_or_buffer, *, write_weights: bool = True) -> None:
+    """Write each undirected edge once as ``src dst [weight]`` lines."""
+    if isinstance(path_or_buffer, (str, Path)):
+        with open(path_or_buffer, "w", encoding="utf-8") as fh:
+            write_edge_list(graph, fh, write_weights=write_weights)
+            return
+    fh: io.TextIOBase = path_or_buffer
+    src, dst, wt = graph.edge_arrays()
+    fh.write(f"# vertices {graph.num_vertices} edges {src.size}\n")
+    if write_weights:
+        for u, v, w in zip(src.tolist(), dst.tolist(), wt.tolist()):
+            fh.write(f"{u} {v} {w:.10g}\n")
+    else:
+        for u, v in zip(src.tolist(), dst.tolist()):
+            fh.write(f"{u} {v}\n")
+
+
+def save_npz(graph: Graph, path) -> None:
+    """Persist a graph as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+    )
+
+
+def load_npz(path) -> Graph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        indptr = data["indptr"].astype(np.int64)
+        indices = data["indices"].astype(np.int64)
+        weights = data["weights"].astype(np.float64)
+    rows = np.repeat(np.arange(indptr.size - 1, dtype=np.int64), np.diff(indptr))
+    return Graph.from_adjacency_entries(
+        rows, indices, weights, num_vertices=indptr.size - 1
+    )

@@ -1,0 +1,41 @@
+"""Experiment harness: runners for every paper table/figure, TEPS, tables."""
+
+from .experiments import (
+    UK2007_LITERATURE,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7_nodes,
+    run_fig7_threads,
+    run_fig8,
+    run_fig9_strong,
+    run_fig9_weak,
+    run_table1,
+    run_table3,
+    run_table4,
+)
+from .tables import banner, format_series, format_table
+from .teps import first_level_seconds, gteps, teps
+
+__all__ = [
+    "run_table1",
+    "run_fig2",
+    "run_fig4",
+    "run_fig5",
+    "run_table3",
+    "run_fig6",
+    "run_fig7_threads",
+    "run_fig7_nodes",
+    "run_fig8",
+    "run_table4",
+    "run_fig9_weak",
+    "run_fig9_strong",
+    "UK2007_LITERATURE",
+    "format_table",
+    "format_series",
+    "banner",
+    "teps",
+    "gteps",
+    "first_level_seconds",
+]

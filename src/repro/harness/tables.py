@@ -1,0 +1,60 @@
+"""Plain-text table/figure rendering for the experiment harness.
+
+Benchmarks print the same rows/series the paper reports; these helpers keep
+the formatting consistent and dependency-free (no matplotlib in this
+environment -- "figures" are rendered as aligned numeric series, which is
+what shape comparison needs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        str_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], *, fmt: str = "{:.4g}"
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs."""
+    pairs = ", ".join(f"{x}={fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def banner(text: str, *, width: int = 72) -> str:
+    pad = max(0, width - len(text) - 2)
+    left = pad // 2
+    right = pad - left
+    return f"{'=' * left} {text} {'=' * right}"

@@ -1,0 +1,40 @@
+"""Hash functions, edge-key packing and the accumulating edge hash table."""
+
+from .functions import (
+    FIBONACCI_MULTIPLIER,
+    HASH_FUNCTIONS,
+    bitwise_hash,
+    concatenated_hash,
+    fibonacci_hash,
+    get_hash_function,
+    linear_congruential_hash,
+    pack_key,
+    unpack_key,
+)
+from .stats import (
+    ThreadLoadStats,
+    bin_lengths,
+    load_factor_sweep,
+    per_thread_stats,
+    table_stats,
+)
+from .table import EMPTY_KEY, EdgeHashTable
+
+__all__ = [
+    "FIBONACCI_MULTIPLIER",
+    "HASH_FUNCTIONS",
+    "fibonacci_hash",
+    "linear_congruential_hash",
+    "bitwise_hash",
+    "concatenated_hash",
+    "get_hash_function",
+    "pack_key",
+    "unpack_key",
+    "EdgeHashTable",
+    "EMPTY_KEY",
+    "ThreadLoadStats",
+    "bin_lengths",
+    "per_thread_stats",
+    "load_factor_sweep",
+    "table_stats",
+]

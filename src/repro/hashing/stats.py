@@ -1,0 +1,100 @@
+"""Hash-table occupancy statistics (paper §V-C, Fig. 6).
+
+The paper partitions each node's hash-table bins uniformly across the node's
+threads and reports, per thread: the number of hashed entries, the average
+bin length (over non-empty bins only -- see the paper's footnote 3), and the
+maximum bin length.  "Bin length" is the number of keys whose *home* bin
+``H(key)`` coincides; it measures hash clustering independently of the
+probing discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .functions import HashFunction, get_hash_function
+from .table import EdgeHashTable
+
+__all__ = [
+    "ThreadLoadStats",
+    "bin_lengths",
+    "per_thread_stats",
+    "load_factor_sweep",
+    "table_stats",
+]
+
+
+@dataclass(frozen=True)
+class ThreadLoadStats:
+    """Per-thread load statistics of one hash table (one 'node')."""
+
+    entries: np.ndarray  # hashed entries owned by each thread
+    avg_bin_length: np.ndarray  # mean length of non-empty bins, per thread
+    max_bin_length: np.ndarray  # longest bin per thread
+
+    @property
+    def num_threads(self) -> int:
+        return self.entries.size
+
+
+def bin_lengths(keys: np.ndarray, num_bins: int, hash_function) -> np.ndarray:
+    """``lengths[b]`` = number of keys whose home bin is ``b``."""
+    if isinstance(hash_function, str):
+        hash_function = get_hash_function(hash_function)
+    keys = np.asarray(keys, dtype=np.uint64)
+    bins = hash_function(keys, int(num_bins))
+    return np.bincount(bins, minlength=int(num_bins))
+
+
+def per_thread_stats(
+    keys: np.ndarray,
+    num_bins: int,
+    num_threads: int,
+    hash_function: str | HashFunction = "fibonacci",
+) -> ThreadLoadStats:
+    """Fig. 6(a-c) statistics: partition bins uniformly over threads.
+
+    Thread ``t`` owns bins ``[t * B / T, (t + 1) * B / T)``.
+    """
+    lengths = bin_lengths(keys, num_bins, hash_function)
+    bounds = np.linspace(0, num_bins, num_threads + 1).astype(np.int64)
+    entries = np.empty(num_threads, dtype=np.int64)
+    avg = np.zeros(num_threads, dtype=np.float64)
+    mx = np.zeros(num_threads, dtype=np.int64)
+    for t in range(num_threads):
+        chunk = lengths[bounds[t] : bounds[t + 1]]
+        entries[t] = int(chunk.sum())
+        nonempty = chunk[chunk > 0]
+        avg[t] = float(nonempty.mean()) if nonempty.size else 0.0
+        mx[t] = int(chunk.max()) if chunk.size else 0
+    return ThreadLoadStats(entries=entries, avg_bin_length=avg, max_bin_length=mx)
+
+
+def load_factor_sweep(
+    keys: np.ndarray,
+    load_factors: list[float],
+    num_threads: int,
+    hash_function: str | HashFunction = "fibonacci",
+) -> dict[float, ThreadLoadStats]:
+    """Fig. 6(d): avg bin length per thread as the load factor varies.
+
+    For each load factor ``lf`` the bin count is ``ceil(n_keys / lf)``:
+    a *smaller* load factor means more bins, fewer collisions, and an
+    average non-empty-bin length approaching 1.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    out: dict[float, ThreadLoadStats] = {}
+    for lf in load_factors:
+        if lf <= 0:
+            raise ValueError("load factors must be positive")
+        num_bins = max(num_threads, int(np.ceil(keys.size / lf)))
+        out[lf] = per_thread_stats(keys, num_bins, num_threads, hash_function)
+    return out
+
+
+def table_stats(table: EdgeHashTable, num_threads: int) -> ThreadLoadStats:
+    """Per-thread stats of a live :class:`EdgeHashTable`."""
+    keys, _ = table.items()
+    return per_thread_stats(keys, table.capacity, num_threads, table._hash)  # noqa: SLF001

@@ -1,0 +1,285 @@
+"""Open-addressing edge hash table with linear probing (paper §IV-A).
+
+This is the data structure both ``In_Table`` and ``Out_Table`` are built on:
+a flat array of 64-bit keys (packed edge tuples, see
+:func:`repro.hashing.functions.pack_key`) plus a parallel array of float64
+weights.  Insertion *accumulates*: inserting an existing key adds to its
+weight, which is exactly the semantics the paper relies on so that all edges
+from a vertex to one community collapse into a single bucket.
+
+The implementation is batch-vectorized: a batch of (key, weight) records is
+first coalesced with ``np.unique``, then placed with round-synchronous linear
+probing -- each round advances every still-unplaced key by one slot, claims
+empty slots (resolving intra-batch collisions deterministically), and
+accumulates matches.  Probe counts are tracked for the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functions import HashFunction, get_hash_function
+
+__all__ = ["EdgeHashTable", "EMPTY_KEY"]
+
+#: Sentinel marking an unoccupied slot.  Real packed keys never take this
+#: value for any graph with fewer than 2^32 vertices under shift=32.
+EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class EdgeHashTable:
+    """Accumulating open-addressing hash table keyed by uint64.
+
+    Parameters
+    ----------
+    capacity:
+        Initial number of slots (M).  Rounded up to at least 8.
+    hash_function:
+        Name in :data:`repro.hashing.functions.HASH_FUNCTIONS` or a callable
+        ``(keys, num_bins) -> bins``.
+    max_load_factor:
+        Occupancy threshold beyond which the table rehashes into double the
+        capacity.  The paper studies load factors 2..1/8 (Fig. 6d); with
+        ``auto_grow=False`` the table keeps its capacity so that behavior at a
+        fixed load factor can be measured (insertion beyond capacity raises).
+    auto_grow:
+        Whether to rehash when the load factor is exceeded.
+    """
+
+    __slots__ = (
+        "_keys",
+        "_weights",
+        "_count",
+        "_hash",
+        "_hash_name",
+        "max_load_factor",
+        "auto_grow",
+        "probe_count",
+        "insert_count",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        hash_function: str | HashFunction = "fibonacci",
+        max_load_factor: float = 0.25,
+        auto_grow: bool = True,
+    ) -> None:
+        capacity = max(8, int(capacity))
+        if isinstance(hash_function, str):
+            self._hash_name = hash_function
+            self._hash = get_hash_function(hash_function)
+        else:
+            self._hash_name = getattr(hash_function, "__name__", "custom")
+            self._hash = hash_function
+        if not 0.0 < max_load_factor <= 2.0:
+            # Load factors > 1 are meaningful only for *bin length* studies
+            # on chained interpretations; an open table cannot exceed 1.0,
+            # so we clamp at insert time, but accept up to 2.0 here so the
+            # Fig. 6d sweep can request them and observe the refusal.
+            raise ValueError("max_load_factor must be in (0, 2]")
+        self.max_load_factor = float(max_load_factor)
+        self.auto_grow = bool(auto_grow)
+        self._keys = np.full(capacity, EMPTY_KEY, dtype=np.uint64)
+        self._weights = np.zeros(capacity, dtype=np.float64)
+        self._count = 0
+        self.probe_count = 0
+        self.insert_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def hash_name(self) -> str:
+        return self._hash_name
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self._keys.size
+
+    def occupied_mask(self) -> np.ndarray:
+        return self._keys != EMPTY_KEY
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All stored ``(keys, weights)``, in slot order (copies)."""
+        mask = self.occupied_mask()
+        return self._keys[mask].copy(), self._weights[mask].copy()
+
+    def home_bins(self) -> np.ndarray:
+        """Home slot ``H(key)`` of every stored key (for bin statistics)."""
+        keys, _ = self.items()
+        return self._hash(keys, self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> None:
+        self._keys.fill(EMPTY_KEY)
+        self._weights.fill(0.0)
+        self._count = 0
+
+    def reserve(self, additional: int) -> None:
+        """Grow (if allowed) so that ``additional`` new keys fit the policy."""
+        target = self._count + int(additional)
+        effective = min(self.max_load_factor, 0.95)
+        if target <= self._keys.size * effective:
+            return
+        if not self.auto_grow:
+            if target > self._keys.size:
+                raise OverflowError(
+                    f"table capacity {self._keys.size} cannot hold {target} keys "
+                    "and auto_grow is disabled"
+                )
+            return
+        new_cap = self._keys.size
+        while target > new_cap * effective:
+            new_cap *= 2
+        self._rehash(new_cap)
+
+    def _rehash(self, new_capacity: int) -> None:
+        keys, weights = self.items()
+        self._keys = np.full(new_capacity, EMPTY_KEY, dtype=np.uint64)
+        self._weights = np.zeros(new_capacity, dtype=np.float64)
+        self._count = 0
+        if keys.size:
+            self._insert_unique(keys, weights)
+
+    def insert_accumulate(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        """Insert a batch, summing weights of duplicate keys.
+
+        Duplicates inside the batch are pre-coalesced; duplicates against the
+        table accumulate into the existing slot.  Vectorized; the per-call
+        Python overhead is O(longest probe chain), not O(batch).
+        """
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if keys.shape != weights.shape:
+            raise ValueError("keys and weights must have the same length")
+        if keys.size == 0:
+            return
+        if (keys == EMPTY_KEY).any():
+            raise ValueError("key collides with the EMPTY sentinel")
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        summed = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(summed, inverse, weights)
+        self.reserve(uniq.size)
+        self._insert_unique(uniq, summed)
+
+    def _insert_unique(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        """Place a batch of *distinct* keys with round-synchronous probing."""
+        cap = np.int64(self._keys.size)
+        slots = self._hash(keys, int(cap)).astype(np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self._keys.size + 1:
+                raise RuntimeError("hash table full during probing")
+            cur = slots[pending]
+            tkeys = self._keys[cur]
+            self.probe_count += int(pending.size)
+
+            hit = tkeys == keys[pending]
+            if hit.any():
+                idx = pending[hit]
+                # Distinct keys -> distinct slots, direct accumulate is safe.
+                self._weights[slots[idx]] += weights[idx]
+            empty = tkeys == EMPTY_KEY
+            claimed = np.zeros(pending.size, dtype=bool)
+            if empty.any():
+                cand = np.flatnonzero(empty)
+                cand_slots = cur[cand]
+                # Two distinct pending keys may target the same empty slot in
+                # the same round; only the first (lowest batch index) claims.
+                _, first = np.unique(cand_slots, return_index=True)
+                winners = cand[np.sort(first)]
+                widx = pending[winners]
+                self._keys[slots[widx]] = keys[widx]
+                self._weights[slots[widx]] = weights[widx]
+                self._count += int(widx.size)
+                self.insert_count += int(widx.size)
+                claimed[winners] = True
+
+            done = hit | claimed
+            keep = ~done
+            if keep.any():
+                still = pending[keep]
+                # Losers of an empty-slot race retry the *same* slot (now
+                # occupied, possibly by their own key? no -- keys distinct, so
+                # re-probe matches "occupied by different key": advance).
+                # Keys that saw a different occupied key also advance.
+                advance = np.ones(still.size, dtype=bool)
+                lost_race = empty[keep]
+                advance[lost_race] = False
+                slots[still[advance]] = (slots[still[advance]] + 1) % cap
+                pending = still
+            else:
+                pending = pending[:0]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, keys: np.ndarray, default: float = 0.0) -> np.ndarray:
+        """Vectorized weight lookup; missing keys yield ``default``."""
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        out = np.full(keys.size, float(default), dtype=np.float64)
+        if keys.size == 0 or self._count == 0:
+            return out
+        cap = np.int64(self._keys.size)
+        slots = self._hash(keys, int(cap)).astype(np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self._keys.size + 1:
+                break
+            cur = slots[pending]
+            tkeys = self._keys[cur]
+            self.probe_count += int(pending.size)
+            hit = tkeys == keys[pending]
+            out[pending[hit]] = self._weights[cur[hit]]
+            miss_end = tkeys == EMPTY_KEY  # definitive miss
+            cont = ~(hit | miss_end)
+            pending = pending[cont]
+            slots[pending] = (slots[pending] + 1) % cap
+        return out
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized membership test (weight-0 entries still count)."""
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        present = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0 or self._count == 0:
+            return present
+        cap = np.int64(self._keys.size)
+        slots = self._hash(keys, int(cap)).astype(np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self._keys.size + 1:
+                break
+            cur = slots[pending]
+            tkeys = self._keys[cur]
+            hit = tkeys == keys[pending]
+            present[pending[hit]] = True
+            cont = ~(hit | (tkeys == EMPTY_KEY))
+            pending = pending[cont]
+            slots[pending] = (slots[pending] + 1) % cap
+        return present
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EdgeHashTable(n={self._count}, capacity={self.capacity}, "
+            f"hash={self._hash_name!r}, load={self.load_factor:.3f})"
+        )

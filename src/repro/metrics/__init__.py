@@ -1,0 +1,61 @@
+"""Quality metrics: modularity, partition similarity, size distributions."""
+
+from .distribution import (
+    community_sizes,
+    evolution_ratio,
+    largest_community_size,
+    log_binned_size_distribution,
+    size_histogram,
+)
+from .modularity import (
+    community_aggregates,
+    modularity,
+    modularity_from_labels,
+    modularity_gain,
+)
+from .quality import (
+    conductance,
+    coverage,
+    mean_conductance,
+    partition_summary,
+    performance,
+)
+from .similarity import (
+    SimilarityReport,
+    adjusted_rand_index,
+    compare_partitions,
+    contingency_table,
+    f_measure,
+    jaccard_index,
+    normalized_mutual_information,
+    normalized_van_dongen,
+    pair_counts,
+    rand_index,
+)
+
+__all__ = [
+    "modularity",
+    "modularity_from_labels",
+    "modularity_gain",
+    "community_aggregates",
+    "community_sizes",
+    "size_histogram",
+    "log_binned_size_distribution",
+    "evolution_ratio",
+    "largest_community_size",
+    "SimilarityReport",
+    "compare_partitions",
+    "contingency_table",
+    "pair_counts",
+    "rand_index",
+    "adjusted_rand_index",
+    "jaccard_index",
+    "normalized_mutual_information",
+    "f_measure",
+    "normalized_van_dongen",
+    "coverage",
+    "performance",
+    "conductance",
+    "mean_conductance",
+    "partition_summary",
+]

@@ -1,0 +1,62 @@
+"""The paper's contribution: parallel Louvain with hash tables + heuristic."""
+
+from .driver import DetectionSummary, detect_communities
+from .heuristic import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    LinearDecaySchedule,
+    ThresholdSchedule,
+    fit_schedule,
+    gain_histogram,
+    threshold_from_histogram,
+)
+from .components import ComponentsResult, distributed_components
+from .dynamic import EdgeBatch, apply_edge_batch, incremental_louvain
+from .hierarchy import Dendrogram, HierarchyLevel, build_dendrogram
+from .label_propagation import (
+    LabelPropagationConfig,
+    LabelPropagationResult,
+    label_propagation,
+)
+from .louvain import (
+    InnerIterationStats,
+    ParallelLevelStats,
+    ParallelLouvainConfig,
+    ParallelLouvainResult,
+    parallel_louvain,
+)
+from .naive import naive_parallel_louvain
+from .partition import ModuloPartition
+from .tables import RankTables, build_in_tables
+
+__all__ = [
+    "parallel_louvain",
+    "naive_parallel_louvain",
+    "label_propagation",
+    "LabelPropagationConfig",
+    "LabelPropagationResult",
+    "Dendrogram",
+    "HierarchyLevel",
+    "build_dendrogram",
+    "EdgeBatch",
+    "apply_edge_batch",
+    "incremental_louvain",
+    "ComponentsResult",
+    "distributed_components",
+    "detect_communities",
+    "DetectionSummary",
+    "ParallelLouvainConfig",
+    "ParallelLouvainResult",
+    "ParallelLevelStats",
+    "InnerIterationStats",
+    "ExponentialSchedule",
+    "ConstantSchedule",
+    "LinearDecaySchedule",
+    "ThresholdSchedule",
+    "fit_schedule",
+    "gain_histogram",
+    "threshold_from_histogram",
+    "ModuloPartition",
+    "RankTables",
+    "build_in_tables",
+]

@@ -1,0 +1,128 @@
+"""High-level driver: the one-call public API for community detection.
+
+:func:`detect_communities` wraps algorithm choice (sequential / parallel /
+naive-parallel), returns a uniform summary, and optionally attaches modeled
+execution times for a target machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..graph import Graph
+from ..metrics import community_sizes, modularity_from_labels
+from ..runtime import MachineModel, model_times, total_time
+from ..sequential import louvain as _sequential_louvain
+from .heuristic import ExponentialSchedule, ThresholdSchedule
+from .louvain import ParallelLouvainConfig, ParallelLouvainResult, parallel_louvain
+from .naive import naive_parallel_louvain
+
+__all__ = ["DetectionSummary", "detect_communities"]
+
+Algorithm = Literal["parallel", "sequential", "naive"]
+
+
+@dataclass
+class DetectionSummary:
+    """Uniform result of :func:`detect_communities`."""
+
+    algorithm: str
+    membership: np.ndarray
+    modularity: float
+    num_communities: int
+    num_levels: int
+    level_modularities: list[float]
+    #: Modeled per-phase seconds (only for parallel runs with a machine).
+    modeled_phase_seconds: dict[str, float] = field(default_factory=dict)
+    modeled_total_seconds: float | None = None
+    #: The raw algorithm result for deep inspection.
+    raw: object | None = field(default=None, repr=False)
+
+    @property
+    def community_sizes(self) -> np.ndarray:
+        return community_sizes(self.membership)
+
+
+def detect_communities(
+    graph: Graph,
+    *,
+    algorithm: Algorithm = "parallel",
+    num_ranks: int = 4,
+    schedule: ThresholdSchedule | None = None,
+    machine: MachineModel | None = None,
+    threads: int | None = None,
+    seed: int | None = 0,
+    **config_overrides,
+) -> DetectionSummary:
+    """Detect communities and summarize the outcome.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"parallel"`` (the paper's algorithm), ``"sequential"``
+        (Algorithm 1 baseline) or ``"naive"`` (parallel without the
+        convergence heuristic).
+    num_ranks:
+        Simulated rank count for the parallel variants.
+    schedule:
+        Threshold schedule override; defaults to the paper's Eq. 7 fit.
+    machine:
+        Optional machine model; when given, the summary includes modeled
+        per-phase and total seconds for the run.
+    threads:
+        Threads per node for the machine model (defaults to the machine's).
+    config_overrides:
+        Extra :class:`ParallelLouvainConfig` fields (``max_inner`` etc.).
+    """
+    if algorithm == "sequential":
+        if config_overrides:
+            raise TypeError(
+                f"unsupported options for sequential: {sorted(config_overrides)}"
+            )
+        res = _sequential_louvain(graph, seed=seed)
+        return DetectionSummary(
+            algorithm="sequential",
+            membership=res.membership,
+            modularity=res.final_modularity,
+            num_communities=int(np.unique(res.membership).size),
+            num_levels=res.num_levels,
+            level_modularities=list(res.modularities),
+            raw=res,
+        )
+
+    if algorithm not in ("parallel", "naive"):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    cfg = ParallelLouvainConfig(
+        num_ranks=num_ranks,
+        schedule=schedule if schedule is not None else ExponentialSchedule(),
+        **config_overrides,
+    )
+    if algorithm == "naive":
+        result: ParallelLouvainResult = naive_parallel_louvain(graph, cfg)
+    else:
+        result = parallel_louvain(graph, cfg)
+
+    summary = DetectionSummary(
+        algorithm=algorithm,
+        membership=result.membership,
+        modularity=(
+            result.final_modularity
+            if result.modularities
+            else modularity_from_labels(graph, result.membership)
+        ),
+        num_communities=int(np.unique(result.membership).size),
+        num_levels=result.num_levels,
+        level_modularities=list(result.modularities),
+        raw=result,
+    )
+    if machine is not None:
+        summary.modeled_phase_seconds = model_times(
+            result.simulation.profiler, machine, threads=threads, top_level=True
+        )
+        summary.modeled_total_seconds = total_time(
+            result.simulation.profiler, machine, threads=threads
+        )
+    return summary

@@ -1,0 +1,169 @@
+"""The convergence heuristic (paper §IV-B, Eq. 7).
+
+The parallel algorithm throttles vertex migration with a dynamic threshold
+
+    epsilon(iter) = p1 * exp(1 / (p2 * iter))                      (Eq. 7)
+
+-- the *fraction of vertices* allowed to move during inner iteration ``iter``
+(1-based).  The fraction is translated into a modularity-gain cutoff ΔQ̂ by
+ranking the per-vertex best gains ``m_u`` and admitting the top
+``epsilon * n``; the paper does this with a distributed histogram, and so do
+we (:func:`threshold_from_histogram`).
+
+``fit_schedule`` reproduces the paper's regression analysis: given migration
+traces of the sequential algorithm on LFR graphs (fraction moved per inner
+sweep), fit p1 and p2 by least squares on ``log eps = log p1 + (1/p2)/iter``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ThresholdSchedule",
+    "ExponentialSchedule",
+    "ConstantSchedule",
+    "LinearDecaySchedule",
+    "fit_schedule",
+    "gain_histogram",
+    "threshold_from_histogram",
+    "HISTOGRAM_EDGES",
+]
+
+
+class ThresholdSchedule(Protocol):
+    """Anything that maps an inner-iteration number to a move fraction."""
+
+    def epsilon(self, iteration: int) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class ExponentialSchedule:
+    """Eq. 7: ``eps = p1 * exp(1 / (p2 * iter))``, clamped to [0, 1].
+
+    Default parameters come from the regression over LFR traces
+    (``benchmarks/bench_fig2_heuristic_regression.py`` reproduces the fit);
+    they decay from ~1 at the first iteration toward ``p1``.
+    """
+
+    p1: float = 0.02
+    p2: float = 0.27
+
+    def __post_init__(self) -> None:
+        if self.p1 <= 0 or self.p2 <= 0:
+            raise ValueError("p1 and p2 must be positive")
+
+    def epsilon(self, iteration: int) -> float:
+        it = max(1, int(iteration))
+        return min(1.0, self.p1 * math.exp(1.0 / (self.p2 * it)))
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """Ablation: keep a fixed move fraction every iteration."""
+
+    fraction: float = 1.0
+
+    def epsilon(self, iteration: int) -> float:
+        return min(1.0, max(0.0, self.fraction))
+
+
+@dataclass(frozen=True)
+class LinearDecaySchedule:
+    """Ablation: ``eps = max(floor, 1 - rate * (iter - 1))``."""
+
+    rate: float = 0.2
+    floor: float = 0.02
+
+    def epsilon(self, iteration: int) -> float:
+        it = max(1, int(iteration))
+        return min(1.0, max(self.floor, 1.0 - self.rate * (it - 1)))
+
+
+def fit_schedule(
+    traces: Sequence[Sequence[float]], *, min_fraction: float = 1e-4
+) -> ExponentialSchedule:
+    """Least-squares fit of Eq. 7 to migration traces.
+
+    ``traces`` holds, per experiment, the fraction of vertices moved during
+    each inner sweep (iteration 1, 2, ...).  Zero/near-zero fractions are
+    floored at ``min_fraction`` before taking logs.
+
+    With ``y = log eps`` and ``x = 1 / iter`` the model is linear:
+    ``y = log p1 + x / p2``.
+    """
+    xs: list[float] = []
+    ys: list[float] = []
+    for trace in traces:
+        for i, frac in enumerate(trace, start=1):
+            xs.append(1.0 / i)
+            ys.append(math.log(max(float(frac), min_fraction)))
+    if len(xs) < 2:
+        raise ValueError("need at least two data points to fit the schedule")
+    x = np.asarray(xs)
+    y = np.asarray(ys)
+    slope, intercept = np.polyfit(x, y, 1)
+    if slope <= 0:
+        # Degenerate trace (no decay): fall back to a weak schedule rather
+        # than produce a negative p2.
+        slope = 1e-3
+    return ExponentialSchedule(p1=float(np.exp(intercept)), p2=float(1.0 / slope))
+
+
+# --------------------------------------------------------------------- #
+# Distributed threshold selection (the paper's histogram of m_u)
+# --------------------------------------------------------------------- #
+
+#: Log-spaced gain bin edges shared by all ranks.  Louvain gains on
+#: normalized modularity live well inside [1e-12, 1].
+HISTOGRAM_EDGES: np.ndarray = np.logspace(-12, 0, 97)
+
+
+def gain_histogram(gains: np.ndarray, edges: np.ndarray = HISTOGRAM_EDGES) -> np.ndarray:
+    """Histogram of strictly-positive gains over ``edges`` (one rank's part).
+
+    Bin 0 counts gains below ``edges[0]`` (kept so tiny positive gains are
+    still movable when the threshold is fully open).
+    """
+    gains = np.asarray(gains, dtype=np.float64)
+    pos = gains[gains > 0.0]
+    if pos.size == 0:
+        return np.zeros(edges.size, dtype=np.int64)
+    # Bin b holds gains in (edges[b-1], edges[b]]; bin 0 holds (0, edges[0]].
+    idx = np.searchsorted(edges, pos, side="left")
+    idx = np.clip(idx, 0, edges.size - 1)
+    return np.bincount(idx, minlength=edges.size).astype(np.int64)
+
+
+def threshold_from_histogram(
+    histogram: np.ndarray,
+    target_movers: int,
+    edges: np.ndarray = HISTOGRAM_EDGES,
+) -> float:
+    """ΔQ̂ such that roughly ``target_movers`` gains exceed it.
+
+    Walks the (global) histogram from the top bin down, accumulating counts,
+    and returns the lower edge of the last included bin.  If the target
+    exceeds the number of positive gains the threshold opens fully (0.0, i.e.
+    every strictly positive gain moves).
+    """
+    histogram = np.asarray(histogram, dtype=np.int64)
+    if target_movers <= 0:
+        return float("inf")
+    total = int(histogram.sum())
+    if target_movers >= total:
+        return 0.0
+    cum_from_top = np.cumsum(histogram[::-1])[::-1]
+    # Smallest bin index whose suffix count still reaches the target.
+    include = np.flatnonzero(cum_from_top >= target_movers)
+    if include.size == 0:
+        return 0.0
+    b = int(include[-1])
+    if b == 0:
+        return 0.0
+    return float(edges[b - 1])

@@ -1,0 +1,758 @@
+"""Parallel Louvain for distributed memory (paper Algorithms 2-5).
+
+The algorithm runs on the simulated SPMD runtime: ``P`` ranks own vertices
+by a 1D modulo partition; each level executes
+
+    STATE PROPAGATION  ->  REFINE (inner loop)  ->  GRAPH RECONSTRUCTION
+
+where STATE PROPAGATION scans every rank's In_Table and ships
+``((v, c), w)`` records to the owner of ``v`` who accumulates them in its
+Out_Table (Algorithm 3); REFINE scans Out_Tables to find each vertex's best
+community, throttles migration with the convergence heuristic's ΔQ̂ cutoff,
+applies the moves, and recomputes modularity (Algorithm 4); GRAPH
+RECONSTRUCTION turns Out_Table entries into the next level's In_Tables via an
+all-to-all (Algorithm 5, Fig. 3).
+
+Community labels are (level-local) vertex ids, so community ``c`` is owned by
+``rank(c) = c % P`` -- the rank that authoritatively maintains ``Σ_tot^c``
+and ``Σ_in^c``.  Ranks never read each other's state directly; everything
+flows through :class:`~repro.runtime.MessageBus` exchanges, so each inner
+iteration sees exactly the stale community snapshot the paper's algorithm
+sees (§III, challenge 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import Graph
+from ..runtime import Simulation
+from ..runtime.profiler import PhaseCounters
+from .heuristic import (
+    HISTOGRAM_EDGES,
+    ExponentialSchedule,
+    ThresholdSchedule,
+    gain_histogram,
+    threshold_from_histogram,
+)
+from .partition import ModuloPartition
+from .tables import RankTables, build_in_tables
+
+__all__ = [
+    "ParallelLouvainConfig",
+    "InnerIterationStats",
+    "ParallelLevelStats",
+    "ParallelLouvainResult",
+    "parallel_louvain",
+]
+
+
+@dataclass(frozen=True)
+class ParallelLouvainConfig:
+    """Knobs of the parallel algorithm (defaults follow the paper)."""
+
+    num_ranks: int = 4
+    #: Migration throttle; ``None`` disables it (the naive parallel variant
+    #: of Fig. 4 -- every positive-gain vertex moves every iteration).
+    schedule: ThresholdSchedule | None = field(default_factory=ExponentialSchedule)
+    max_inner: int = 64
+    inner_tol: float = 1e-6
+    max_levels: int = 32
+    outer_tol: float = 1e-6
+    min_gain: float = 1e-12
+    hash_function: str = "fibonacci"
+    load_factor: float = 0.25  # the paper's speed/memory compromise (§V-C2)
+    key_shift: int = 32
+    #: Reichardt-Bornholdt resolution γ (1.0 = the paper's plain modularity).
+    resolution: float = 1.0
+    #: Seed for failure-injection message reordering (None = in-order).
+    reorder_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError("need at least one rank")
+        if self.max_inner < 1 or self.max_levels < 1:
+            raise ValueError("iteration limits must be positive")
+
+
+@dataclass(frozen=True)
+class InnerIterationStats:
+    """One REFINE iteration: threshold state and outcome."""
+
+    iteration: int
+    epsilon: float
+    dq_threshold: float
+    candidates: int  # vertices with a strictly positive best gain
+    movers: int
+    modularity: float
+    #: Per-phase counter deltas for this iteration (Fig. 8b's raw material).
+    phase_counters: dict[str, PhaseCounters] = field(repr=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ParallelLevelStats:
+    """One outer-loop level."""
+
+    level: int
+    num_vertices: int
+    num_adjacency_entries: int
+    modularity: float
+    iterations: tuple[InnerIterationStats, ...]
+    #: Per-phase counter deltas for the whole level, reconstruction included
+    #: (Fig. 8a's raw material).
+    phase_counters: dict[str, PhaseCounters] = field(repr=False, default_factory=dict)
+
+
+@dataclass
+class ParallelLouvainResult:
+    """Outcome of a parallel Louvain run plus full provenance."""
+
+    membership: np.ndarray  # original vertex -> final community (compact)
+    level_labels: list[np.ndarray]
+    modularities: list[float]
+    levels: list[ParallelLevelStats]
+    simulation: Simulation
+    config: ParallelLouvainConfig
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.level_labels)
+
+    @property
+    def final_modularity(self) -> float:
+        return self.modularities[-1] if self.modularities else 0.0
+
+    def membership_at_level(self, level: int) -> np.ndarray:
+        if not 0 <= level < self.num_levels:
+            raise IndexError(f"level {level} out of range [0, {self.num_levels})")
+        member = self.level_labels[0]
+        for i in range(1, level + 1):
+            member = self.level_labels[i][member]
+        return member
+
+
+# ===================================================================== #
+# Per-rank state
+# ===================================================================== #
+
+
+class _RankState:
+    """Everything one rank owns at one level."""
+
+    __slots__ = (
+        "rank",
+        "owned",  # global ids of owned vertices, ascending
+        "strength",  # k_u per owned vertex (local index order)
+        "self_adj",  # A_uu per owned vertex
+        "community",  # global community label per owned vertex
+        "tot",  # authoritative sigma_tot per owned *community* (local idx)
+        "size",  # authoritative member count per owned community
+        "tables",
+        "replica_comms",  # sorted community ids with cached sigma_tot
+        "replica_tot",
+        "replica_size",
+    )
+
+    def __init__(self, rank: int, partition: ModuloPartition, tables: RankTables):
+        self.rank = rank
+        self.owned = partition.owned(rank)
+        self.tables = tables
+        v, u, w = tables.in_edges()
+        n_local = self.owned.size
+        local = partition.to_local(u)
+        self.strength = np.zeros(n_local, dtype=np.float64)
+        np.add.at(self.strength, local, w)
+        self.self_adj = np.zeros(n_local, dtype=np.float64)
+        loops = v == u
+        np.add.at(self.self_adj, local[loops], w[loops])
+        self.community = self.owned.copy()
+        self.tot = self.strength.copy()
+        self.size = np.ones(n_local, dtype=np.int64)
+        self.replica_comms = np.empty(0, dtype=np.int64)
+        self.replica_tot = np.empty(0, dtype=np.float64)
+        self.replica_size = np.empty(0, dtype=np.int64)
+
+    def _replica_index(self, comms: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self.replica_comms, comms)
+        idx = np.clip(idx, 0, max(0, self.replica_comms.size - 1))
+        if self.replica_comms.size == 0:
+            if comms.size:
+                raise KeyError("community replica empty but lookups requested")
+            return idx
+        found = self.replica_comms[idx] == comms
+        if not found.all():
+            missing = np.asarray(comms)[~found][:5]
+            raise KeyError(f"community replica missing {missing}")
+        return idx
+
+    def lookup_tot(self, comms: np.ndarray) -> np.ndarray:
+        """Replica Σ_tot for community ids fetched this iteration."""
+        if comms.size == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.replica_tot[self._replica_index(comms)]
+
+    def lookup_size(self, comms: np.ndarray) -> np.ndarray:
+        """Replica member counts (for the singleton-swap tie-break)."""
+        if comms.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.replica_size[self._replica_index(comms)]
+
+
+# ===================================================================== #
+# Phases
+# ===================================================================== #
+
+
+def _state_propagation(
+    sim: Simulation,
+    partition: ModuloPartition,
+    ranks: list[_RankState],
+) -> None:
+    """Algorithm 3: rebuild every Out_Table from In_Tables + communities."""
+    bus = sim.bus
+    prof = sim.profiler
+    outboxes = []
+    for st in ranks:
+        v, u, w = st.tables.in_edges()
+        c = st.community[partition.to_local(u)] if u.size else u
+        dest = partition.owner(v)
+        prof.add_ops(st.rank, v.size)  # In_Table scan
+        outboxes.append((dest, v, c, w))
+    result = bus.exchange(outboxes)
+    for st in ranks:
+        u_in, c_in, w_in = result.inbox(st.rank)
+        st.tables.reset_out_table()
+        before = st.tables.out_table.probe_count
+        st.tables.accumulate_out(
+            u_in.astype(np.int64), c_in.astype(np.int64), w_in.astype(np.float64)
+        )
+        prof.add_ops(st.rank, st.tables.out_table.probe_count - before)
+
+
+def _fetch_sigma_tot(
+    sim: Simulation,
+    partition: ModuloPartition,
+    ranks: list[_RankState],
+) -> None:
+    """Refresh each rank's Σ_tot replicas for all referenced communities.
+
+    Two supersteps: requests to community owners, replies with values.  The
+    paper folds this community-state traffic into STATE PROPAGATION; so does
+    the phase accounting here (callers wrap us in that phase).
+    """
+    bus = sim.bus
+    prof = sim.profiler
+    requests = []
+    wanted: list[np.ndarray] = []
+    for st in ranks:
+        _, c, _ = st.tables.out_entries()
+        want = np.unique(np.concatenate([c, st.community]))
+        wanted.append(want)
+        dest = partition.owner(want)
+        requester = np.full(want.size, st.rank, dtype=np.int64)
+        requests.append((dest, want, requester))
+    got = bus.exchange(requests)
+    replies = []
+    for st in ranks:
+        c_req, who = got.inbox(st.rank)
+        c_req = c_req.astype(np.int64)
+        local = partition.to_local(c_req)
+        vals = st.tot[local] if c_req.size else np.empty(0)
+        sizes = st.size[local] if c_req.size else np.empty(0, dtype=np.int64)
+        prof.add_ops(st.rank, c_req.size)
+        replies.append((who.astype(np.int64), c_req, vals, sizes))
+    back = bus.exchange(replies)
+    for st in ranks:
+        c_rep, t_rep, s_rep = back.inbox(st.rank)
+        c_rep = c_rep.astype(np.int64)
+        order = np.argsort(c_rep)
+        st.replica_comms = c_rep[order]
+        st.replica_tot = t_rep.astype(np.float64)[order]
+        st.replica_size = s_rep.astype(np.int64)[order]
+
+
+def _find_best(
+    sim: Simulation,
+    partition: ModuloPartition,
+    ranks: list[_RankState],
+    m: float,
+    resolution: float = 1.0,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Algorithm 4 lines 6-9: per-vertex best move gain and target.
+
+    Returns per-rank ``(m_u, c_hat)`` arrays over local vertices.  ``m_u`` is
+    the *move improvement*: ΔQ of joining the best foreign community minus ΔQ
+    of staying home, both computed against the current (stale) Σ_tot
+    replicas.  ``m_u <= 0`` means staying is at least as good.
+    """
+    prof = sim.profiler
+    two_m2 = 2.0 * m * m
+    best_gain: list[np.ndarray] = []
+    best_comm: list[np.ndarray] = []
+    for st in ranks:
+        n_local = st.owned.size
+        u, c, w = st.tables.out_entries()
+        prof.add_ops(st.rank, u.size)
+        mu = np.zeros(n_local, dtype=np.float64)
+        chat = st.community.copy()
+        if n_local == 0:
+            best_gain.append(mu)
+            best_comm.append(chat)
+            continue
+        local = partition.to_local(u)
+        cu = st.community[local]
+        ku = st.strength[local]
+        sigma = st.lookup_tot(c)
+        is_home = c == cu
+        # Removal semantics: evaluating any candidate pretends u left home,
+        # so the home community's sigma_tot must exclude k_u.
+        sigma_eff = np.where(is_home, sigma - ku, sigma)
+        w_eff = np.where(is_home, w - st.self_adj[local], w)
+        gain = w_eff / m - resolution * sigma_eff * ku / two_m2
+
+        # Per-vertex stay gain: the home entry if present, else the gain of
+        # an empty home community (no intra edges).
+        stay = np.zeros(n_local, dtype=np.float64)
+        k_all = st.strength
+        sigma_home_all = st.lookup_tot(st.community) - k_all
+        stay[:] = -resolution * sigma_home_all * k_all / two_m2
+        home_local = local[is_home]
+        stay[home_local] = gain[is_home]
+
+        # Singleton-swap guard ("minimum label" rule, cf. Lu et al. 2015,
+        # Grappolo): two isolated vertices that each pick the other\'s
+        # (singleton) community would swap forever under simultaneous
+        # updates.  A singleton vertex may enter another *singleton*
+        # community only if the target label is smaller; the lower-label
+        # vertex then stays put and absorbs the other.
+        cand_size = st.lookup_size(c)
+        home_size = st.lookup_size(cu)
+        blocked = (cand_size == 1) & (home_size == 1) & (c > cu)
+
+        # Best foreign candidate per vertex: sort entries by (local id, c)
+        # and take segment maxima; ties resolve to the smallest community id
+        # for determinism.
+        fmask = ~is_home & ~blocked
+        if fmask.any():
+            fl = local[fmask]
+            fg = gain[fmask]
+            fc = c[fmask]
+            order = np.lexsort((fc, -fg, fl))
+            fl, fg, fc = fl[order], fg[order], fc[order]
+            first = np.ones(fl.size, dtype=bool)
+            first[1:] = fl[1:] != fl[:-1]
+            sel = np.flatnonzero(first)
+            improvement = fg[sel] - stay[fl[sel]]
+            mu[fl[sel]] = improvement
+            chat[fl[sel]] = fc[sel]
+        best_gain.append(mu)
+        best_comm.append(chat)
+    return best_gain, best_comm
+
+
+def _compute_threshold(
+    sim: Simulation,
+    best_gain: list[np.ndarray],
+    schedule: ThresholdSchedule | None,
+    iteration: int,
+    num_vertices: int,
+) -> tuple[float, float, int]:
+    """Global ΔQ̂ from the gain histogram (Algorithm 4 lines 10-11).
+
+    Returns ``(epsilon, dq_threshold, candidates)``.
+    """
+    bus = sim.bus
+    hists = [gain_histogram(g) for g in best_gain]
+    global_hist = bus.allreduce_sum(hists)
+    candidates = int(global_hist.sum())
+    if schedule is None:
+        return 1.0, 0.0, candidates  # naive: every positive gain moves
+    eps = schedule.epsilon(iteration)
+    target = int(math.ceil(eps * num_vertices))
+    dq_hat = threshold_from_histogram(global_hist, target, HISTOGRAM_EDGES)
+    return eps, dq_hat, candidates
+
+
+def _apply_moves(
+    sim: Simulation,
+    partition: ModuloPartition,
+    ranks: list[_RankState],
+    best_gain: list[np.ndarray],
+    best_comm: list[np.ndarray],
+    dq_hat: float,
+    min_gain: float,
+) -> int:
+    """Algorithm 4 lines 13-15: move thresholded vertices, update Σ_tot."""
+    bus = sim.bus
+    prof = sim.profiler
+    outboxes = []
+    total_moved = 0
+    for st, mu, chat in zip(ranks, best_gain, best_comm):
+        movers = np.flatnonzero((mu > dq_hat) & (mu > min_gain) & (chat != st.community))
+        total_moved += int(movers.size)
+        prof.add_ops(st.rank, movers.size)
+        old_c = st.community[movers]
+        new_c = chat[movers]
+        k = st.strength[movers]
+        st.community[movers] = new_c
+        # Σ_tot and size deltas to the owners of both communities.
+        comm_ids = np.concatenate([old_c, new_c])
+        deltas = np.concatenate([-k, k])
+        sdeltas = np.concatenate(
+            [np.full(movers.size, -1, dtype=np.int64),
+             np.full(movers.size, 1, dtype=np.int64)]
+        )
+        dest = partition.owner(comm_ids)
+        outboxes.append((dest, comm_ids, deltas, sdeltas))
+    result = bus.exchange(outboxes)
+    for st in ranks:
+        c_upd, d_upd, s_upd = result.inbox(st.rank)
+        c_upd = c_upd.astype(np.int64)
+        if c_upd.size:
+            local = partition.to_local(c_upd)
+            np.add.at(st.tot, local, d_upd.astype(np.float64))
+            np.add.at(st.size, local, s_upd.astype(np.int64))
+        prof.add_ops(st.rank, c_upd.size)
+    # The driver sums mover counts across all ranks, so this is already the
+    # global count (a real deployment allreduces it; the convergence test in
+    # the main loop is the consumer either way).
+    bus.barrier()
+    return total_moved
+
+
+def _compute_modularity(
+    sim: Simulation,
+    partition: ModuloPartition,
+    ranks: list[_RankState],
+    m: float,
+    resolution: float = 1.0,
+) -> float:
+    """Algorithm 4 lines 17-25: Σ_in gather + global Q."""
+    bus = sim.bus
+    prof = sim.profiler
+    outboxes = []
+    for st in ranks:
+        u, c, w = st.tables.out_entries()
+        prof.add_ops(st.rank, u.size)
+        if u.size:
+            home = c == st.community[partition.to_local(u)]
+            c_h, w_h = c[home], w[home]
+        else:
+            c_h = np.empty(0, dtype=np.int64)
+            w_h = np.empty(0, dtype=np.float64)
+        outboxes.append((partition.owner(c_h), c_h, w_h))
+    result = bus.exchange(outboxes)
+    partials = []
+    two_m = 2.0 * m
+    for st in ranks:
+        c_in, w_in = result.inbox(st.rank)
+        acc = np.zeros(st.owned.size, dtype=np.float64)
+        c_in = c_in.astype(np.int64)
+        if c_in.size:
+            np.add.at(acc, partition.to_local(c_in), w_in.astype(np.float64))
+        prof.add_ops(st.rank, c_in.size + st.owned.size)
+        partials.append(
+            float(
+                (acc / two_m).sum()
+                - resolution * ((st.tot / two_m) ** 2).sum()
+            )
+        )
+    return float(bus.allreduce_sum(partials))
+
+
+def _reconstruct(
+    sim: Simulation,
+    partition: ModuloPartition,
+    ranks: list[_RankState],
+    config: ParallelLouvainConfig,
+) -> tuple[list[_RankState], ModuloPartition, np.ndarray]:
+    """Algorithm 5: contract communities into the next level's In_Tables.
+
+    Returns ``(new_rank_states, new_partition, labels)`` where ``labels``
+    maps this level's vertex ids to compact next-level ids (driver-side
+    bookkeeping for the dendrogram).
+    """
+    bus = sim.bus
+    prof = sim.profiler
+
+    # Compact relabeling: every rank contributes the labels it references;
+    # the sorted union is the new vertex space (a small allgather in the
+    # real implementation).
+    used = bus.allgather([np.unique(st.community) for st in ranks])
+    new_ids = np.unique(np.concatenate(used)) if used else np.empty(0, np.int64)
+    n_new = int(new_ids.size)
+    new_partition = ModuloPartition(n_new, partition.num_ranks)
+
+    # Per-level label array over *this* level's vertices.
+    labels = np.empty(partition.num_vertices, dtype=np.int64)
+    for st in ranks:
+        labels[st.owned] = np.searchsorted(new_ids, st.community)
+
+    # Ship Out_Table entries as superedges to the owner of the destination
+    # supervertex (Fig. 3's all-to-all).
+    outboxes = []
+    for st in ranks:
+        u, c, w = st.tables.out_entries()
+        prof.add_ops(st.rank, u.size)
+        if u.size:
+            src_comm = np.searchsorted(new_ids, st.community[partition.to_local(u)])
+            dst_comm = np.searchsorted(new_ids, c)
+        else:
+            src_comm = np.empty(0, dtype=np.int64)
+            dst_comm = np.empty(0, dtype=np.int64)
+        outboxes.append((new_partition.owner(dst_comm), src_comm, dst_comm, w))
+    result = bus.exchange(outboxes)
+
+    new_states: list[_RankState] = []
+    for rank in range(partition.num_ranks):
+        v_in, u_in, w_in = result.inbox(rank)
+        tables = RankTables(
+            expected_in_edges=int(np.asarray(v_in).size) + 16,
+            hash_function=config.hash_function,
+            load_factor=config.load_factor,
+            key_shift=config.key_shift,
+        )
+        before = tables.in_table.probe_count
+        tables.add_in_edges(
+            v_in.astype(np.int64), u_in.astype(np.int64), w_in.astype(np.float64)
+        )
+        prof.add_ops(rank, tables.in_table.probe_count - before)
+        new_states.append(_RankState(rank, new_partition, tables))
+    return new_states, new_partition, labels
+
+
+def _apply_initial_membership(
+    sim: Simulation,
+    partition: ModuloPartition,
+    ranks: list[_RankState],
+    membership: np.ndarray,
+) -> None:
+    """Warm-start REFINE from an existing partition (dynamic-graph support).
+
+    Community labels in the algorithm are vertex ids, so each input
+    community is renamed to its minimum member vertex id; owners then rebuild
+    their authoritative Σ_tot / size tables from an all-to-all of
+    (community, strength, +1) records -- the same pattern the UPDATE phase
+    uses for deltas.
+    """
+    membership = np.asarray(membership, dtype=np.int64)
+    if membership.size != partition.num_vertices:
+        raise ValueError("initial membership must cover every vertex")
+    if membership.size and membership.min() < 0:
+        raise ValueError("community labels must be non-negative")
+    # Rename labels to representative vertex ids (minimum member).
+    order = np.lexsort((np.arange(membership.size), membership))
+    sorted_labels = membership[order]
+    first = np.ones(sorted_labels.size, dtype=bool)
+    first[1:] = sorted_labels[1:] != sorted_labels[:-1]
+    reps_for_label = order[first]  # min vertex id per distinct label
+    label_index = np.searchsorted(sorted_labels[first], membership)
+    community_global = reps_for_label[label_index]
+
+    bus = sim.bus
+    prof = sim.profiler
+    outboxes = []
+    for st in ranks:
+        st.community = community_global[st.owned].copy()
+        st.tot = np.zeros_like(st.tot)
+        st.size = np.zeros_like(st.size)
+        dest = partition.owner(st.community)
+        prof.add_ops(st.rank, st.owned.size)
+        outboxes.append(
+            (dest, st.community, st.strength, np.ones(st.owned.size, dtype=np.int64))
+        )
+    result = bus.exchange(outboxes)
+    for st in ranks:
+        c_in, k_in, one_in = result.inbox(st.rank)
+        c_in = c_in.astype(np.int64)
+        if c_in.size:
+            local = partition.to_local(c_in)
+            np.add.at(st.tot, local, k_in.astype(np.float64))
+            np.add.at(st.size, local, one_in.astype(np.int64))
+        prof.add_ops(st.rank, c_in.size)
+
+
+# ===================================================================== #
+# Driver
+# ===================================================================== #
+
+
+def _snapshot(sim: Simulation) -> dict[str, tuple]:
+    out = {}
+    for name, c in sim.profiler.phases.items():
+        out[name] = (
+            c.comp_ops.copy(),
+            c.records_sent.copy(),
+            c.bytes_sent.copy(),
+            c.messages_sent.copy(),
+            c.supersteps,
+            c.collectives,
+        )
+    return out
+
+
+def _delta(sim: Simulation, before: dict[str, tuple]) -> dict[str, PhaseCounters]:
+    out: dict[str, PhaseCounters] = {}
+    for name, c in sim.profiler.phases.items():
+        prev = before.get(name)
+        d = PhaseCounters(num_ranks=sim.num_ranks)
+        if prev is None:
+            d.comp_ops = c.comp_ops.copy()
+            d.records_sent = c.records_sent.copy()
+            d.bytes_sent = c.bytes_sent.copy()
+            d.messages_sent = c.messages_sent.copy()
+            d.supersteps = c.supersteps
+            d.collectives = c.collectives
+        else:
+            d.comp_ops = c.comp_ops - prev[0]
+            d.records_sent = c.records_sent - prev[1]
+            d.bytes_sent = c.bytes_sent - prev[2]
+            d.messages_sent = c.messages_sent - prev[3]
+            d.supersteps = c.supersteps - prev[4]
+            d.collectives = c.collectives - prev[5]
+        if (
+            d.comp_ops.any()
+            or d.records_sent.any()
+            or d.supersteps
+            or d.collectives
+        ):
+            out[name] = d
+    return out
+
+
+def parallel_louvain(
+    graph: Graph,
+    config: ParallelLouvainConfig | None = None,
+    *,
+    initial_membership: np.ndarray | None = None,
+    **kwargs,
+) -> ParallelLouvainResult:
+    """Run the full parallel Louvain algorithm (Algorithm 2).
+
+    Either pass a :class:`ParallelLouvainConfig` or keyword overrides of its
+    fields.  The returned result carries the simulation (profiler included),
+    the dendrogram and per-iteration statistics.
+
+    ``initial_membership`` warm-starts level 0 from an existing partition
+    (labels over all vertices) instead of singletons -- the dynamic-graph
+    workflow the paper's two-table design targets: mutate the graph, keep
+    the previous communities, and let REFINE repair them.  See
+    :mod:`repro.parallel.dynamic`.
+    """
+    if config is None:
+        config = ParallelLouvainConfig(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either config or keyword overrides, not both")
+
+    sim = Simulation.create(config.num_ranks, reorder_seed=config.reorder_seed)
+    partition = ModuloPartition(graph.num_vertices, config.num_ranks)
+    tables = build_in_tables(
+        graph,
+        partition,
+        hash_function=config.hash_function,
+        load_factor=config.load_factor,
+        key_shift=config.key_shift,
+    )
+    ranks = [_RankState(r, partition, tables[r]) for r in range(config.num_ranks)]
+    with sim.phase("INIT"):
+        m = float(sim.bus.allreduce_sum([st.strength.sum() for st in ranks])) / 2.0
+        if initial_membership is not None and graph.num_vertices:
+            _apply_initial_membership(sim, partition, ranks, initial_membership)
+
+    result = ParallelLouvainResult(
+        membership=np.arange(graph.num_vertices, dtype=np.int64),
+        level_labels=[],
+        modularities=[],
+        levels=[],
+        simulation=sim,
+        config=config,
+    )
+    if graph.num_vertices == 0 or m <= 0.0:
+        return result
+
+    membership = np.arange(graph.num_vertices, dtype=np.int64)
+    prev_level_q = -1.0
+
+    for level in range(config.max_levels):
+        n_level = partition.num_vertices
+        level_before = _snapshot(sim)
+        with sim.phase("STATE_PROPAGATION"):
+            _state_propagation(sim, partition, ranks)
+            _fetch_sigma_tot(sim, partition, ranks)
+
+        iter_stats: list[InnerIterationStats] = []
+        prev_q = -1.0
+        q = prev_q
+        with sim.phase("REFINE"):
+            for iteration in range(1, config.max_inner + 1):
+                before = _snapshot(sim)
+                with sim.phase("FIND_BEST"):
+                    best_gain, best_comm = _find_best(
+                        sim, partition, ranks, m, config.resolution
+                    )
+                with sim.phase("THRESHOLD"):
+                    eps, dq_hat, candidates = _compute_threshold(
+                        sim, best_gain, config.schedule, iteration, n_level
+                    )
+                with sim.phase("UPDATE"):
+                    moved = _apply_moves(
+                        sim, partition, ranks, best_gain, best_comm,
+                        dq_hat, config.min_gain,
+                    )
+                with sim.phase("STATE_PROPAGATION"):
+                    _state_propagation(sim, partition, ranks)
+                    _fetch_sigma_tot(sim, partition, ranks)
+                with sim.phase("MODULARITY"):
+                    q = _compute_modularity(
+                        sim, partition, ranks, m, config.resolution
+                    )
+                iter_stats.append(
+                    InnerIterationStats(
+                        iteration=iteration,
+                        epsilon=eps,
+                        dq_threshold=dq_hat,
+                        candidates=candidates,
+                        movers=moved,
+                        modularity=q,
+                        phase_counters=_delta(sim, before),
+                    )
+                )
+                if moved == 0:
+                    break
+                if q - prev_q < config.inner_tol and prev_q > -1.0:
+                    break
+                prev_q = q
+
+        if q - prev_level_q <= config.outer_tol and result.level_labels:
+            break
+
+        level_entries = int(sum(len(st.tables.in_table) for st in ranks))
+        with sim.phase("GRAPH_RECONSTRUCTION"):
+            ranks, new_partition, labels = _reconstruct(sim, partition, ranks, config)
+
+        result.level_labels.append(labels)
+        result.modularities.append(q)
+        result.levels.append(
+            ParallelLevelStats(
+                level=level,
+                num_vertices=n_level,
+                num_adjacency_entries=level_entries,
+                modularity=q,
+                iterations=tuple(iter_stats),
+                phase_counters=_delta(sim, level_before),
+            )
+        )
+        membership = labels[membership]
+
+        if q - prev_level_q <= config.outer_tol:
+            break
+        prev_level_q = q
+        if new_partition.num_vertices == partition.num_vertices:
+            break
+        partition = new_partition
+
+    result.membership = membership
+    return result

@@ -1,0 +1,124 @@
+"""In_Table / Out_Table management (paper §IV-A, Fig. 1).
+
+Each rank holds two :class:`~repro.hashing.EdgeHashTable` instances:
+
+* **In_Table** -- keyed ``pack(v, u)`` for every in-edge ``(v → u)`` of an
+  owned vertex ``u``.  Immutable during the inner loop; it *is* the level's
+  graph structure.  Rebuilding it from the Out_Tables is how the outer loop
+  contracts the graph (Algorithm 5).
+* **Out_Table** -- keyed ``pack(u, c)`` for owned vertex ``u`` and neighbor
+  community ``c``.  Because insertion accumulates, all edges from ``u`` into
+  one community collapse into a single bucket holding ``w_{u→c}`` -- the
+  quantity ΔQ needs (Eq. 4).  Reset and refilled at every STATE PROPAGATION.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..hashing import EdgeHashTable, pack_key, unpack_key
+from .partition import ModuloPartition
+
+__all__ = ["RankTables", "build_in_tables"]
+
+
+class RankTables:
+    """The pair of edge hash tables owned by one rank."""
+
+    __slots__ = ("in_table", "out_table", "key_shift", "load_factor", "hash_function")
+
+    def __init__(
+        self,
+        *,
+        expected_in_edges: int = 64,
+        hash_function: str = "fibonacci",
+        load_factor: float = 0.25,
+        key_shift: int = 32,
+    ) -> None:
+        capacity = max(16, int(expected_in_edges / max(load_factor, 1e-6)))
+        self.key_shift = int(key_shift)
+        self.load_factor = float(load_factor)
+        self.hash_function = hash_function
+        self.in_table = EdgeHashTable(
+            capacity, hash_function=hash_function, max_load_factor=load_factor
+        )
+        self.out_table = EdgeHashTable(
+            capacity, hash_function=hash_function, max_load_factor=load_factor
+        )
+
+    # ------------------------------------------------------------------ #
+    # In_Table
+    # ------------------------------------------------------------------ #
+
+    def in_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All ``(v, u, w)`` in-edge triples stored on this rank."""
+        keys, weights = self.in_table.items()
+        v, u = unpack_key(keys, shift=self.key_shift)
+        return v, u, weights
+
+    def add_in_edges(self, v: np.ndarray, u: np.ndarray, w: np.ndarray) -> None:
+        """Accumulate in-edges ``(v → u)`` (used by graph reconstruction)."""
+        keys = pack_key(
+            np.asarray(v, dtype=np.uint64),
+            np.asarray(u, dtype=np.uint64),
+            shift=self.key_shift,
+        )
+        self.in_table.insert_accumulate(keys, w)
+
+    def reset_in_table(self) -> None:
+        self.in_table.clear()
+
+    # ------------------------------------------------------------------ #
+    # Out_Table
+    # ------------------------------------------------------------------ #
+
+    def out_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All ``(u, c, w_{u→c})`` triples accumulated on this rank."""
+        keys, weights = self.out_table.items()
+        u, c = unpack_key(keys, shift=self.key_shift)
+        return u, c, weights
+
+    def accumulate_out(self, u: np.ndarray, c: np.ndarray, w: np.ndarray) -> None:
+        """Hash received ``((u, c), w)`` records into the Out_Table."""
+        keys = pack_key(
+            np.asarray(u, dtype=np.uint64),
+            np.asarray(c, dtype=np.uint64),
+            shift=self.key_shift,
+        )
+        self.out_table.insert_accumulate(keys, w)
+
+    def reset_out_table(self) -> None:
+        self.out_table.clear()
+
+
+def build_in_tables(
+    graph: Graph,
+    partition: ModuloPartition,
+    *,
+    hash_function: str = "fibonacci",
+    load_factor: float = 0.25,
+    key_shift: int = 32,
+) -> list[RankTables]:
+    """Distribute a graph's adjacency entries into per-rank In_Tables.
+
+    Every CSR entry ``(u → v)`` of the symmetric adjacency becomes the
+    in-edge ``(u, v)`` stored on ``owner(v)``.  (In a real deployment this is
+    the parallel graph-ingest step; here the driver performs it directly.)
+    """
+    rows = graph.row_index()
+    cols = graph.indices
+    weights = graph.weights
+    owners = partition.owner(cols)
+    tables: list[RankTables] = []
+    for rank in range(partition.num_ranks):
+        mask = owners == rank
+        rt = RankTables(
+            expected_in_edges=int(mask.sum()) + 16,
+            hash_function=hash_function,
+            load_factor=load_factor,
+            key_shift=key_shift,
+        )
+        rt.add_in_edges(rows[mask], cols[mask], weights[mask])
+        tables.append(rt)
+    return tables

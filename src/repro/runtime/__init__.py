@@ -1,0 +1,27 @@
+"""Simulated distributed-memory runtime: bus, profiler, machine models."""
+
+from .comm import ExchangeResult, MessageBus
+from .engine import Simulation
+from .machine import (
+    BGQ,
+    P7IH,
+    MachineModel,
+    model_phase_time,
+    model_times,
+    total_time,
+)
+from .profiler import PhaseCounters, PhaseProfiler
+
+__all__ = [
+    "MessageBus",
+    "ExchangeResult",
+    "Simulation",
+    "PhaseProfiler",
+    "PhaseCounters",
+    "MachineModel",
+    "P7IH",
+    "BGQ",
+    "model_phase_time",
+    "model_times",
+    "total_time",
+]

@@ -1,0 +1,185 @@
+"""Simulated message-passing bus with BSP (superstep) semantics.
+
+Replaces the paper's fine-grained messaging layer [27-29].  All ranks run in
+one Python process; a phase produces *record batches* addressed per record to
+a destination rank, and the bus delivers everything at the superstep
+boundary.  This reproduces exactly the information structure of the paper's
+algorithm -- during an inner iteration every rank computes against the
+community state captured at the previous STATE PROPAGATION -- while the
+:class:`~repro.runtime.profiler.PhaseProfiler` records the traffic the real
+machine would have carried.
+
+Records are column-oriented: an exchange takes ``(dest_ranks, col0, col1,
+...)`` numpy arrays per source rank and returns the concatenated columns each
+destination received.  Grouping is a vectorized argsort, not a Python loop
+over records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .profiler import PhaseProfiler
+
+__all__ = ["ExchangeResult", "MessageBus"]
+
+#: Modeled wire size of one record column element (8-byte word).
+_BYTES_PER_WORD = 8
+
+
+@dataclass
+class ExchangeResult:
+    """Per-destination inboxes from one alltoallv superstep.
+
+    ``inbox(r)`` returns a tuple of column arrays (same arity as sent).
+    """
+
+    columns: list[tuple[np.ndarray, ...]]
+
+    def inbox(self, rank: int) -> tuple[np.ndarray, ...]:
+        return self.columns[rank]
+
+
+class MessageBus:
+    """All-to-all record exchange plus collectives, with traffic accounting.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of simulated ranks.
+    profiler:
+        Sink for traffic counters (optional).
+    reorder_rng:
+        If given, each destination's inbox is randomly permuted.  The paper's
+        messaging layer gives no intra-superstep ordering guarantees, so the
+        algorithm must be insensitive to delivery order; tests enable this to
+        prove it (failure-injection mode).
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        profiler: PhaseProfiler | None = None,
+        *,
+        reorder_rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.num_ranks = int(num_ranks)
+        self.profiler = profiler
+        self.reorder_rng = reorder_rng
+
+    # -------------------------------------------------------------- #
+
+    def exchange(
+        self, outboxes: list[tuple[np.ndarray, ...] | None]
+    ) -> ExchangeResult:
+        """One alltoallv superstep.
+
+        ``outboxes[src]`` is ``(dest_ranks, col0, col1, ...)`` or ``None``;
+        all columns must share the first dimension.  Returns inboxes holding
+        the same columns (without the dest column), concatenated over all
+        sources in rank order (then optionally shuffled).
+        """
+        if len(outboxes) != self.num_ranks:
+            raise ValueError("one outbox per rank required")
+        arity = None
+        for box in outboxes:
+            if box is not None and len(box) >= 2:
+                arity = len(box) - 1
+                break
+        if arity is None:
+            empty = tuple(np.empty(0, dtype=np.int64) for _ in range(1))
+            return ExchangeResult(columns=[empty] * self.num_ranks)
+
+        per_dest_parts: list[list[tuple[np.ndarray, ...]]] = [
+            [] for _ in range(self.num_ranks)
+        ]
+        for src, box in enumerate(outboxes):
+            if box is None:
+                continue
+            dest = np.asarray(box[0], dtype=np.int64)
+            cols = box[1:]
+            if len(cols) != arity:
+                raise ValueError("all outboxes must have the same arity")
+            for col in cols:
+                if np.asarray(col).shape[0] != dest.shape[0]:
+                    raise ValueError("columns must match dest length")
+            if dest.size == 0:
+                continue
+            if dest.min() < 0 or dest.max() >= self.num_ranks:
+                raise ValueError("destination rank out of range")
+            order = np.argsort(dest, kind="stable")
+            sorted_dest = dest[order]
+            boundaries = np.searchsorted(
+                sorted_dest, np.arange(self.num_ranks + 1, dtype=np.int64)
+            )
+            nonempty = np.flatnonzero(np.diff(boundaries) > 0)
+            touched = int(nonempty.size)
+            for d in nonempty.tolist():
+                a, b = boundaries[d], boundaries[d + 1]
+                part = tuple(np.asarray(col)[order[a:b]] for col in cols)
+                per_dest_parts[d].append(part)
+            if self.profiler is not None:
+                self.profiler.add_send(
+                    src,
+                    records=int(dest.size),
+                    nbytes=int(dest.size) * arity * _BYTES_PER_WORD,
+                    messages=touched,
+                )
+
+        inboxes: list[tuple[np.ndarray, ...]] = []
+        for d in range(self.num_ranks):
+            parts = per_dest_parts[d]
+            if parts:
+                cols = tuple(
+                    np.concatenate([p[i] for p in parts]) for i in range(arity)
+                )
+            else:
+                cols = tuple(np.empty(0, dtype=np.int64) for _ in range(arity))
+            if self.reorder_rng is not None and cols[0].size > 1:
+                perm = self.reorder_rng.permutation(cols[0].size)
+                cols = tuple(c[perm] for c in cols)
+            inboxes.append(cols)
+        if self.profiler is not None:
+            self.profiler.add_superstep()
+        return ExchangeResult(columns=inboxes)
+
+    # -------------------------------------------------------------- #
+    # Collectives (simulated; cost charged as one collective each)
+    # -------------------------------------------------------------- #
+
+    def allreduce_sum(self, values: list):
+        """Sum contributions from every rank; every rank gets the result."""
+        if len(values) != self.num_ranks:
+            raise ValueError("one value per rank required")
+        total = values[0]
+        for v in values[1:]:
+            total = total + v
+        if self.profiler is not None:
+            self.profiler.add_collective()
+        return total
+
+    def allreduce_max(self, values: list):
+        if len(values) != self.num_ranks:
+            raise ValueError("one value per rank required")
+        total = values[0]
+        for v in values[1:]:
+            total = np.maximum(total, v)
+        if self.profiler is not None:
+            self.profiler.add_collective()
+        return total
+
+    def allgather(self, values: list) -> list:
+        """Every rank receives the list of all contributions."""
+        if len(values) != self.num_ranks:
+            raise ValueError("one value per rank required")
+        if self.profiler is not None:
+            self.profiler.add_collective()
+        return list(values)
+
+    def barrier(self) -> None:
+        if self.profiler is not None:
+            self.profiler.add_collective()

@@ -1,0 +1,179 @@
+"""Analytic machine models for P7-IH and Blue Gene/Q (paper §V hardware).
+
+The simulator counts machine-independent work (edge scans, hash probes) and
+traffic (records, bytes, aggregated messages, collectives); this module folds
+those counters into modeled seconds for a given node/thread configuration:
+
+    T_phase = max_r(comp_ops_r) * t_op / S(threads)
+            + max_r(messages_r) * alpha
+            + max_r(bytes_r) * beta
+            + max_r(records_r) * t_record / S(threads)
+            + (supersteps + collectives) * t_sync(nodes)
+
+``S(t) = t / (1 + sigma (t - 1))`` is a linearized intra-node contention
+model (hash-table updates and message injection share memory ports), and
+``t_sync`` grows logarithmically with node count as in tree-based barriers.
+
+Parameter values are *calibrated to the paper's reported behavior* (e.g.
+UK-2007 in 44.9 s on 128 P7-IH nodes; ~1.5-1.9 GTEPS weak-scaled), not
+measured on real hardware -- the reproduction targets relative shapes:
+who wins, by what factor, where scaling knees appear.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .profiler import PhaseCounters, PhaseProfiler
+
+__all__ = ["MachineModel", "P7IH", "BGQ", "model_phase_time", "model_times", "total_time"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost coefficients of one machine (per *node* unless noted)."""
+
+    name: str
+    threads_per_node: int
+    #: Seconds per work unit (one edge scan / hash probe) on one thread.
+    t_op: float
+    #: Seconds of per-record messaging overhead (fine-grained injection).
+    t_record: float
+    #: Per aggregated message latency (seconds).
+    alpha: float
+    #: Per byte transfer cost (seconds/byte), i.e. 1 / bandwidth.
+    beta: float
+    #: Base cost of one barrier / collective on two nodes (seconds).
+    t_sync0: float
+    #: Intra-node contention coefficient for the thread-speedup model.
+    sigma: float
+
+    def thread_speedup(self, threads: int) -> float:
+        """Effective speedup of ``threads`` threads over one thread."""
+        t = max(1, int(threads))
+        return t / (1.0 + self.sigma * (t - 1))
+
+    def sync_cost(self, nodes: int) -> float:
+        """One barrier/collective across ``nodes`` nodes (log-tree)."""
+        return self.t_sync0 * (1.0 + math.log2(max(2, nodes)))
+
+    def with_overrides(self, **kwargs) -> "MachineModel":
+        return replace(self, **kwargs)
+
+
+#: IBM Power7-IH (Zeus): 32 threads/node, strong network (PERCS hub).
+#: Calibrated so that, with the harness's sequential reference, UK-2005
+#: lands near the paper's reported regime (thread speedup ~10x at 32
+#: threads; node speedup in the tens at 64 nodes; UK-2007 full run tens of
+#: seconds at 128 nodes).
+P7IH = MachineModel(
+    name="P7-IH",
+    threads_per_node=32,
+    t_op=9.0e-9,
+    t_record=3.0e-8,
+    alpha=5.0e-4,  # per-destination endpoint cost of the fine-grained layer
+    beta=4.0e-11,  # ~25 GB/s effective injection per node
+    t_sync0=6.0e-6,
+    sigma=0.03,
+)
+
+#: Blue Gene/Q (Mira): 64 hardware threads/node, slower cores, 5D torus.
+BGQ = MachineModel(
+    name="BG/Q",
+    threads_per_node=64,
+    t_op=2.2e-8,
+    t_record=7.0e-8,
+    alpha=3.0e-4,
+    beta=2.0e-10,  # ~5 GB/s effective injection per node
+    t_sync0=2.5e-6,
+    sigma=0.012,
+)
+
+
+def model_phase_time(
+    counters: PhaseCounters,
+    machine: MachineModel,
+    *,
+    threads: int | None = None,
+    nodes: int | None = None,
+    work_scale: float = 1.0,
+) -> float:
+    """Modeled seconds for one phase.
+
+    The profiler's ranks are interpreted as *nodes*; intra-node threading is
+    applied analytically to the computation and injection components.
+
+    ``work_scale`` extrapolates a proxy run to a larger dataset at the same
+    node count: per-rank work, record and byte counts grow linearly with the
+    graph (they are per-edge quantities), while superstep / collective counts
+    and the number of aggregated per-destination messages do not -- Louvain's
+    iteration count depends on community structure, not on size.  This is how
+    the harness reports Figs. 7-9 at the paper's data scale from laptop-sized
+    simulations (see DESIGN.md §2).
+    """
+    threads = threads if threads is not None else machine.threads_per_node
+    nodes = nodes if nodes is not None else counters.num_ranks
+    s = machine.thread_speedup(threads)
+    comp = work_scale * float(counters.comp_ops.max(initial=0.0)) * machine.t_op / s
+    inject = (
+        work_scale
+        * float(counters.records_sent.max(initial=0.0))
+        * machine.t_record
+        / s
+    )
+    latency = float(counters.messages_sent.max(initial=0.0)) * machine.alpha
+    transfer = work_scale * float(counters.bytes_sent.max(initial=0.0)) * machine.beta
+    sync = (counters.supersteps + counters.collectives) * machine.sync_cost(nodes)
+    # Single-node runs pay no network latency and only cheap barriers, but
+    # records still move through memory (full byte cost): hash-table traffic
+    # is memory-bandwidth-bound on one node too.
+    if nodes <= 1:
+        latency = 0.0
+        sync = (counters.supersteps + counters.collectives) * machine.t_sync0
+    return comp + inject + latency + transfer + sync
+
+
+def model_times(
+    profiler: PhaseProfiler,
+    machine: MachineModel,
+    *,
+    threads: int | None = None,
+    nodes: int | None = None,
+    work_scale: float = 1.0,
+    top_level: bool = False,
+) -> dict[str, float]:
+    """Modeled seconds per phase (optionally aggregated to top level)."""
+    if top_level:
+        names = profiler.top_level_phases()
+        return {
+            name: model_phase_time(
+                profiler.aggregate(name), machine,
+                threads=threads, nodes=nodes, work_scale=work_scale,
+            )
+            for name in names
+        }
+    return {
+        name: model_phase_time(
+            counters, machine, threads=threads, nodes=nodes, work_scale=work_scale
+        )
+        for name, counters in sorted(profiler.phases.items())
+    }
+
+
+def total_time(
+    profiler: PhaseProfiler,
+    machine: MachineModel,
+    *,
+    threads: int | None = None,
+    nodes: int | None = None,
+    work_scale: float = 1.0,
+) -> float:
+    """Total modeled seconds across all phases."""
+    return sum(
+        model_times(
+            profiler, machine, threads=threads, nodes=nodes, work_scale=work_scale
+        ).values()
+    )

@@ -1,0 +1,156 @@
+"""Per-phase work and communication accounting for the simulated runtime.
+
+The paper's Figs. 7-9 and Table IV report wall-clock behavior of the C /
+Pthreads implementation on P7-IH and BG/Q.  Our substrate is a simulator, so
+instead of timing Python (which would measure the interpreter, not the
+algorithm) every phase records *machine-independent* counters -- work units
+(edge scans, hash probes), records / bytes / messages sent, supersteps -- and
+:mod:`repro.runtime.machine` folds them through a machine model into modeled
+seconds.
+
+Phase names follow the paper's breakdown (Fig. 8): ``STATE_PROPAGATION``,
+``REFINE/FIND_BEST``, ``REFINE/UPDATE``, ``GRAPH_RECONSTRUCTION``, ...
+Hierarchical prefixes let the harness aggregate (everything under ``REFINE/``
+is REFINE time).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PhaseCounters", "PhaseProfiler"]
+
+
+@dataclass
+class PhaseCounters:
+    """Counters for one phase, each per simulated rank."""
+
+    num_ranks: int
+    comp_ops: np.ndarray = field(default=None)  # type: ignore[assignment]
+    records_sent: np.ndarray = field(default=None)  # type: ignore[assignment]
+    bytes_sent: np.ndarray = field(default=None)  # type: ignore[assignment]
+    messages_sent: np.ndarray = field(default=None)  # type: ignore[assignment]
+    supersteps: int = 0
+    collectives: int = 0
+
+    def __post_init__(self) -> None:
+        z = lambda: np.zeros(self.num_ranks, dtype=np.float64)  # noqa: E731
+        if self.comp_ops is None:
+            self.comp_ops = z()
+        if self.records_sent is None:
+            self.records_sent = z()
+        if self.bytes_sent is None:
+            self.bytes_sent = z()
+        if self.messages_sent is None:
+            self.messages_sent = z()
+
+    def merge(self, other: "PhaseCounters") -> None:
+        self.comp_ops += other.comp_ops
+        self.records_sent += other.records_sent
+        self.bytes_sent += other.bytes_sent
+        self.messages_sent += other.messages_sent
+        self.supersteps += other.supersteps
+        self.collectives += other.collectives
+
+
+class PhaseProfiler:
+    """Accumulates :class:`PhaseCounters` keyed by phase name.
+
+    The *current phase* is set with the :meth:`phase` context manager; the
+    communication bus and algorithm code charge counters to it.  Nested
+    phases are joined with ``/`` so Fig. 8 can be produced at either
+    granularity.
+    """
+
+    def __init__(self, num_ranks: int) -> None:
+        self.num_ranks = int(num_ranks)
+        self.phases: dict[str, PhaseCounters] = {}
+        self._stack: list[str] = []
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def current_phase(self) -> str:
+        return self._stack[-1] if self._stack else "UNATTRIBUTED"
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute all counters recorded inside to ``name`` (nested via /)."""
+        full = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(full)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    def _get(self, name: str | None = None) -> PhaseCounters:
+        key = name if name is not None else self.current_phase
+        if key not in self.phases:
+            self.phases[key] = PhaseCounters(num_ranks=self.num_ranks)
+        return self.phases[key]
+
+    # -------------------------------------------------------------- #
+    # Charging
+    # -------------------------------------------------------------- #
+
+    def add_ops(self, rank: int, ops: float) -> None:
+        """Charge ``ops`` work units (edge scans / probes) to ``rank``."""
+        self._get().comp_ops[rank] += ops
+
+    def add_ops_all(self, ops: np.ndarray) -> None:
+        """Charge a per-rank vector of work units at once."""
+        self._get().comp_ops += ops
+
+    def add_send(self, rank: int, records: int, nbytes: int, messages: int) -> None:
+        c = self._get()
+        c.records_sent[rank] += records
+        c.bytes_sent[rank] += nbytes
+        c.messages_sent[rank] += messages
+
+    def add_superstep(self) -> None:
+        self._get().supersteps += 1
+
+    def add_collective(self) -> None:
+        self._get().collectives += 1
+
+    # -------------------------------------------------------------- #
+    # Reporting
+    # -------------------------------------------------------------- #
+
+    def phase_names(self) -> list[str]:
+        return sorted(self.phases)
+
+    def aggregate(self, prefix: str) -> PhaseCounters:
+        """Sum all phases whose name equals or starts with ``prefix/``."""
+        out = PhaseCounters(num_ranks=self.num_ranks)
+        for name, counters in self.phases.items():
+            if name == prefix or name.startswith(prefix + "/"):
+                out.merge(counters)
+        return out
+
+    def top_level_phases(self) -> list[str]:
+        return sorted({name.split("/", 1)[0] for name in self.phases})
+
+    def total(self) -> PhaseCounters:
+        out = PhaseCounters(num_ranks=self.num_ranks)
+        for counters in self.phases.values():
+            out.merge(counters)
+        return out
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Human-readable totals per phase (max-over-ranks for comp)."""
+        out: dict[str, dict[str, float]] = {}
+        for name, c in sorted(self.phases.items()):
+            out[name] = {
+                "comp_ops_max": float(c.comp_ops.max()) if c.comp_ops.size else 0.0,
+                "comp_ops_sum": float(c.comp_ops.sum()),
+                "records": float(c.records_sent.sum()),
+                "bytes": float(c.bytes_sent.sum()),
+                "messages": float(c.messages_sent.sum()),
+                "supersteps": float(c.supersteps),
+                "collectives": float(c.collectives),
+            }
+        return out

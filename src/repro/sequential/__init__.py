@@ -1,0 +1,17 @@
+"""Sequential Louvain baseline (paper Algorithm 1)."""
+
+from .louvain import (
+    LevelTrace,
+    LouvainResult,
+    aggregate_graph,
+    louvain,
+    louvain_one_level,
+)
+
+__all__ = [
+    "LevelTrace",
+    "LouvainResult",
+    "louvain",
+    "louvain_one_level",
+    "aggregate_graph",
+]

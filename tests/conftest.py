@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import LFRParams, generate_lfr
+from repro.graph import Graph
+
+
+@pytest.fixture
+def two_cliques() -> Graph:
+    """Two 6-cliques joined by one bridge edge -- unambiguous communities."""
+    edges = []
+    for base in (0, 6):
+        for i in range(6):
+            for j in range(i + 1, 6):
+                edges.append((base + i, base + j))
+    edges.append((0, 6))
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    return Graph.from_edges(src, dst)
+
+
+@pytest.fixture
+def weighted_loop_graph() -> Graph:
+    """Small graph with weights and self-loops to stress conventions."""
+    src = np.array([0, 1, 2, 0, 3, 2])
+    dst = np.array([1, 2, 0, 0, 3, 3])
+    w = np.array([1.0, 2.0, 3.0, 0.5, 1.5, 1.0])
+    return Graph.from_edges(src, dst, w)
+
+
+@pytest.fixture
+def small_lfr():
+    """A small LFR instance with clear planted structure."""
+    return generate_lfr(
+        LFRParams(
+            num_vertices=600,
+            avg_degree=12,
+            max_degree=40,
+            mixing=0.2,
+            min_community=12,
+            max_community=80,
+        ),
+        seed=42,
+    )
+
+
+def random_graph(n: int, p: float, seed: int, *, weighted: bool = False) -> Graph:
+    """Erdős–Rényi helper shared by several test modules."""
+    rng = np.random.default_rng(seed)
+    src, dst = np.triu_indices(n, k=1)
+    keep = rng.random(src.size) < p
+    src, dst = src[keep], dst[keep]
+    w = rng.uniform(0.5, 2.0, src.size) if weighted else None
+    return Graph.from_edges(src, dst, w, num_vertices=n)

@@ -1,0 +1,75 @@
+"""Tests for the BTER generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import BTERParams, calibrate_rho, generate_bter
+from repro.graph import global_clustering_coefficient
+from repro.metrics import modularity
+from repro.sequential import louvain
+
+
+class TestParams:
+    def test_rho_bounds(self):
+        with pytest.raises(ValueError):
+            BTERParams(rho=0.0)
+        with pytest.raises(ValueError):
+            BTERParams(rho=1.5)
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return generate_bter(
+            BTERParams(num_vertices=3000, avg_degree=14, max_degree=100, rho=0.7),
+            seed=5,
+        )
+
+    def test_graph_size(self, instance):
+        assert instance.graph.num_vertices == 3000
+        realized = 2 * instance.graph.num_edges / 3000
+        assert realized == pytest.approx(14, rel=0.35)
+
+    def test_blocks_cover_non_degree_one_vertices(self, instance):
+        assert instance.blocks.size == 3000
+        # most vertices belong to a block
+        assert (instance.blocks >= 0).mean() > 0.5
+
+    def test_deterministic(self):
+        a = generate_bter(BTERParams(num_vertices=500, rho=0.5), seed=1)
+        b = generate_bter(BTERParams(num_vertices=500, rho=0.5), seed=1)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+
+class TestGccKnob:
+    def test_gcc_monotone_in_rho(self):
+        gccs = []
+        for rho in (0.1, 0.5, 0.95):
+            g = generate_bter(
+                BTERParams(num_vertices=2000, avg_degree=16, rho=rho), seed=2
+            ).graph
+            gccs.append(global_clustering_coefficient(g))
+        assert gccs[0] < gccs[1] < gccs[2]
+
+    def test_higher_rho_gives_higher_modularity(self):
+        """Fig. 9a's claim: better community structure at higher GCC."""
+        qs = []
+        for rho in (0.15, 0.9):
+            g = generate_bter(
+                BTERParams(num_vertices=1500, avg_degree=12, rho=rho), seed=3
+            ).graph
+            qs.append(louvain(g, seed=0).final_modularity)
+        assert qs[1] > qs[0]
+
+    def test_calibrate_rho_hits_target(self):
+        rho = calibrate_rho(
+            0.20, num_vertices=1500, avg_degree=14, seed=4, tolerance=0.03
+        )
+        g = generate_bter(
+            BTERParams(num_vertices=1500, avg_degree=14, rho=rho), seed=4
+        ).graph
+        assert global_clustering_coefficient(g) == pytest.approx(0.20, abs=0.05)
+
+    def test_calibrate_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            calibrate_rho(1.5)

@@ -1,0 +1,100 @@
+"""Tests for the LFR benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import LFRParams, generate_lfr
+from repro.metrics import modularity
+
+
+class TestParams:
+    def test_invalid_mixing_raises(self):
+        with pytest.raises(ValueError):
+            LFRParams(mixing=1.5)
+
+    def test_invalid_community_bounds_raise(self):
+        with pytest.raises(ValueError):
+            LFRParams(min_community=1)
+        with pytest.raises(ValueError):
+            LFRParams(min_community=50, max_community=20)
+
+    def test_graph_smaller_than_community_raises(self):
+        with pytest.raises(ValueError):
+            LFRParams(num_vertices=10, min_community=16)
+
+    def test_params_and_kwargs_conflict(self):
+        with pytest.raises(TypeError):
+            generate_lfr(LFRParams(), num_vertices=100)
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return generate_lfr(
+            LFRParams(
+                num_vertices=1500, avg_degree=14, max_degree=60,
+                mixing=0.25, min_community=15, max_community=150,
+            ),
+            seed=11,
+        )
+
+    def test_ground_truth_covers_all_vertices(self, instance):
+        assert instance.ground_truth.size == 1500
+        assert instance.ground_truth.min() >= 0
+
+    def test_community_sizes_within_bounds(self, instance):
+        _, counts = np.unique(instance.ground_truth, return_counts=True)
+        assert counts.min() >= 15 - 1  # assignment may shave one
+        assert counts.max() <= 150
+
+    def test_average_degree_near_target(self, instance):
+        realized = 2 * instance.graph.num_edges / instance.graph.num_vertices
+        assert realized == pytest.approx(14, rel=0.25)
+
+    def test_realized_mixing_near_parameter(self, instance):
+        g = instance.graph
+        labels = instance.ground_truth
+        src, dst, w = g.edge_arrays()
+        inter = (labels[src] != labels[dst]).mean()
+        assert inter == pytest.approx(0.25, abs=0.08)
+
+    def test_planted_partition_has_high_modularity(self, instance):
+        q = modularity(instance.graph, instance.ground_truth)
+        assert q > 0.5
+
+    def test_simple_graph(self, instance):
+        g = instance.graph
+        assert g.self_loop_adjacency().sum() == 0.0
+        src, dst, _ = g.edge_arrays()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert len(pairs) == src.size  # no duplicate edges
+
+    def test_deterministic_with_seed(self):
+        a = generate_lfr(num_vertices=300, avg_degree=8, max_degree=30, seed=5)
+        b = generate_lfr(num_vertices=300, avg_degree=8, max_degree=30, seed=5)
+        assert np.array_equal(a.ground_truth, b.ground_truth)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_different_seeds_differ(self):
+        a = generate_lfr(num_vertices=300, avg_degree=8, max_degree=30, seed=5)
+        b = generate_lfr(num_vertices=300, avg_degree=8, max_degree=30, seed=6)
+        assert not np.array_equal(a.graph.indices, b.graph.indices)
+
+
+class TestMixingKnob:
+    def test_modularity_decreases_with_mixing(self):
+        qs = []
+        for mu in (0.1, 0.4, 0.7):
+            inst = generate_lfr(
+                num_vertices=800, avg_degree=12, max_degree=40, mixing=mu, seed=3
+            )
+            qs.append(modularity(inst.graph, inst.ground_truth))
+        assert qs[0] > qs[1] > qs[2]
+
+    def test_mixing_one_has_no_intra_edges(self):
+        inst = generate_lfr(
+            num_vertices=400, avg_degree=8, max_degree=30, mixing=1.0, seed=4
+        )
+        src, dst, _ = inst.graph.edge_arrays()
+        labels = inst.ground_truth
+        assert (labels[src] == labels[dst]).sum() == 0

@@ -1,0 +1,68 @@
+"""Tests for the power-law samplers."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    expected_powerlaw_mean,
+    powerlaw_degrees_with_mean,
+    sample_powerlaw,
+)
+
+
+class TestSamplePowerlaw:
+    def test_bounds_respected(self):
+        rng = np.random.default_rng(0)
+        x = sample_powerlaw(rng, 5000, 2.5, 3, 50)
+        assert x.min() >= 3
+        assert x.max() <= 50
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        shallow = sample_powerlaw(rng1, 20000, 1.8, 1, 1000)
+        steep = sample_powerlaw(rng2, 20000, 3.2, 1, 1000)
+        assert shallow.mean() > steep.mean()
+
+    def test_invalid_bounds_raise(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_powerlaw(rng, 10, 2.5, 0, 10)
+        with pytest.raises(ValueError):
+            sample_powerlaw(rng, 10, 2.5, 5, 3)
+
+    def test_empty(self):
+        rng = np.random.default_rng(0)
+        assert sample_powerlaw(rng, 0, 2.5, 1, 10).size == 0
+
+    def test_exponent_one_special_case(self):
+        rng = np.random.default_rng(0)
+        x = sample_powerlaw(rng, 5000, 1.0, 1, 100)
+        assert x.min() >= 1 and x.max() <= 100
+
+
+class TestExpectedMean:
+    def test_degenerate_range(self):
+        assert expected_powerlaw_mean(2.5, 5, 5) == pytest.approx(5.0)
+
+    def test_monotone_in_low_cutoff(self):
+        means = [expected_powerlaw_mean(2.5, lo, 100) for lo in (1, 2, 4, 8)]
+        assert all(a < b for a, b in zip(means, means[1:]))
+
+
+class TestDegreesWithMean:
+    @pytest.mark.parametrize("target", [4.0, 10.0, 25.0])
+    def test_hits_target_mean(self, target):
+        rng = np.random.default_rng(7)
+        deg = powerlaw_degrees_with_mean(rng, 8000, 2.5, target, 200)
+        assert deg.mean() == pytest.approx(target, rel=0.05)
+
+    def test_max_respected(self):
+        rng = np.random.default_rng(8)
+        deg = powerlaw_degrees_with_mean(rng, 3000, 2.2, 12.0, 64)
+        assert deg.max() <= 64
+        assert deg.min() >= 1
+
+    def test_target_above_max_raises(self):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ValueError):
+            powerlaw_degrees_with_mean(rng, 100, 2.5, 100.0, 50)

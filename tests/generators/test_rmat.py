@@ -1,0 +1,69 @@
+"""Tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import RMATParams, generate_rmat, rmat_edge_list
+
+
+class TestParams:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            RMATParams(a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            RMATParams(scale=0)
+        with pytest.raises(ValueError):
+            RMATParams(scale=40)
+
+    def test_edge_factor_positive(self):
+        with pytest.raises(ValueError):
+            RMATParams(edge_factor=0)
+
+
+class TestEdgeList:
+    def test_counts_and_ranges(self):
+        params = RMATParams(scale=10, edge_factor=8)
+        src, dst = rmat_edge_list(params, seed=0)
+        assert src.size == dst.size == 8 * 2**10
+        assert src.min() >= 0 and src.max() < 2**10
+        assert dst.min() >= 0 and dst.max() < 2**10
+
+    def test_deterministic(self):
+        p = RMATParams(scale=8)
+        a = rmat_edge_list(p, seed=1)
+        b = rmat_edge_list(p, seed=1)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+class TestGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_rmat(RMATParams(scale=12, edge_factor=16), seed=2)
+
+    def test_vertex_count(self, graph):
+        assert graph.num_vertices == 2**12
+
+    def test_simple(self, graph):
+        assert graph.self_loop_adjacency().sum() == 0.0
+        src, dst, _ = graph.edge_arrays()
+        assert len(set(zip(src.tolist(), dst.tolist()))) == src.size
+
+    def test_skewed_degrees(self, graph):
+        """Graph500 R-MAT is scale-free-ish: hubs far above the mean."""
+        deg = graph.degrees()
+        assert deg.max() > 8 * deg.mean()
+
+    def test_permute_decorrelates_id_and_degree(self):
+        g_perm = generate_rmat(RMATParams(scale=10, permute=True), seed=3)
+        g_raw = generate_rmat(RMATParams(scale=10, permute=False), seed=3)
+        ids = np.arange(2**10)
+        corr_perm = abs(np.corrcoef(ids, g_perm.degrees())[0, 1])
+        corr_raw = abs(np.corrcoef(ids, g_raw.degrees())[0, 1])
+        assert corr_perm < corr_raw
+
+    def test_non_simple_keeps_multiplicity_as_weight(self):
+        g = generate_rmat(RMATParams(scale=8, edge_factor=16), seed=4, simple=False)
+        # duplicates collapse into weights > 1 somewhere in a dense R-MAT
+        assert g.weights.max() > 1.0

@@ -1,0 +1,78 @@
+"""Tests for the Table I real-world graph proxies."""
+
+import numpy as np
+import pytest
+
+from repro.generators import SOCIAL_GRAPHS, list_social_graphs, load_social_graph
+from repro.metrics import modularity
+from repro.sequential import louvain
+
+
+class TestRegistry:
+    def test_all_nine_table1_graphs_present(self):
+        expected = {
+            "Amazon", "DBLP", "ND-Web", "YouTube", "LiveJournal",
+            "Wikipedia", "UK-2005", "Twitter", "UK-2007",
+        }
+        assert set(list_social_graphs()) == expected
+
+    def test_spec_metadata(self):
+        spec = SOCIAL_GRAPHS["UK-2007"]
+        assert spec.size_class == "Very Large"
+        assert spec.orig_vertices == pytest.approx(105.90)
+        assert spec.orig_avg_degree == pytest.approx(2 * 3783.7 / 105.9)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown graph"):
+            load_social_graph("Facebook")
+
+
+class TestProxies:
+    @pytest.mark.parametrize("name", list_social_graphs())
+    def test_every_proxy_generates(self, name):
+        inst = load_social_graph(name, seed=0, scale=0.25)
+        g = inst.graph
+        assert g.num_vertices > 0
+        assert g.num_edges > g.num_vertices  # connected-ish, not a forest
+        g.validate()
+
+    def test_deterministic(self):
+        a = load_social_graph("Amazon", seed=1, scale=0.25)
+        b = load_social_graph("Amazon", seed=1, scale=0.25)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_different_graphs_different_seed_streams(self):
+        a = load_social_graph("Amazon", seed=1, scale=0.25)
+        b = load_social_graph("DBLP", seed=1, scale=0.25)
+        assert a.graph.num_edges != b.graph.num_edges or not np.array_equal(
+            a.graph.indices, b.graph.indices
+        )
+
+    def test_scale_parameter(self):
+        small = load_social_graph("YouTube", seed=0, scale=0.2)
+        full = load_social_graph("YouTube", seed=0, scale=1.0)
+        assert small.graph.num_vertices < full.graph.num_vertices
+
+
+class TestCommunityStrengthProfile:
+    """The proxies must preserve the paper's relative structure ordering:
+    web crawls >> collaboration networks >> Twitter/Wikipedia."""
+
+    @pytest.fixture(scope="class")
+    def modularities(self):
+        out = {}
+        for name in ("UK-2005", "Amazon", "Twitter", "Wikipedia"):
+            g = load_social_graph(name, seed=0, scale=0.4).graph
+            out[name] = louvain(g, seed=0).final_modularity
+        return out
+
+    def test_web_crawl_strongest(self, modularities):
+        assert modularities["UK-2005"] > modularities["Amazon"]
+
+    def test_social_media_weakest(self, modularities):
+        assert modularities["Amazon"] > modularities["Twitter"]
+        assert modularities["Amazon"] > modularities["Wikipedia"]
+
+    def test_absolute_ranges(self, modularities):
+        assert modularities["UK-2005"] > 0.75
+        assert modularities["Twitter"] < 0.6

@@ -1,0 +1,53 @@
+"""Consistency checks between Table I metadata and generated proxies."""
+
+import numpy as np
+import pytest
+
+from repro.generators import SOCIAL_GRAPHS, load_social_graph
+
+#: Table I's published figures (millions), straight from the paper.
+PAPER_TABLE1 = {
+    "Amazon": (0.335, 0.925, 44),
+    "DBLP": (0.317, 1.049, 22),
+    "ND-Web": (0.325, 1.497, 46),
+    "YouTube": (1.135, 2.987, 21),
+    "LiveJournal": (3.997, 34.68, 18),
+    "Wikipedia": (4.206, 77.66, 6.81),
+    "UK-2005": (39.46, 936.4, 23),
+    "Twitter": (41.7, 1470.0, 18),
+    "UK-2007": (105.90, 3783.7, 23),
+}
+
+
+class TestPaperMetadata:
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE1))
+    def test_spec_matches_paper_table1(self, name):
+        spec = SOCIAL_GRAPHS[name]
+        v, e, d = PAPER_TABLE1[name]
+        assert spec.orig_vertices == pytest.approx(v)
+        assert spec.orig_edges == pytest.approx(e)
+        assert spec.orig_diameter == pytest.approx(d)
+
+    def test_size_classes(self):
+        assert SOCIAL_GRAPHS["Amazon"].size_class == "Small"
+        assert SOCIAL_GRAPHS["LiveJournal"].size_class == "Medium"
+        assert SOCIAL_GRAPHS["Twitter"].size_class == "Large"
+        assert SOCIAL_GRAPHS["UK-2007"].size_class == "Very Large"
+
+
+class TestProxyDensity:
+    @pytest.mark.parametrize("name", ["Amazon", "LiveJournal", "UK-2005"])
+    def test_proxy_avg_degree_tracks_original(self, name):
+        """Proxy density should track the original's (capped by proxy size)."""
+        spec = SOCIAL_GRAPHS[name]
+        g = load_social_graph(name, seed=0).graph
+        realized = 2 * g.num_edges / g.num_vertices
+        target = min(spec.orig_avg_degree, spec.proxy.num_vertices / 20)
+        assert realized == pytest.approx(target, rel=0.35)
+
+    def test_density_ordering_preserved(self):
+        degs = {}
+        for name in ("Amazon", "LiveJournal", "UK-2007"):
+            g = load_social_graph(name, seed=0, scale=0.5).graph
+            degs[name] = 2 * g.num_edges / g.num_vertices
+        assert degs["Amazon"] < degs["LiveJournal"] < degs["UK-2007"]

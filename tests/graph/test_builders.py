@@ -1,0 +1,131 @@
+"""Tests for the deterministic toy-graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    clique,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    planted_partition,
+    ring_of_cliques,
+    star_graph,
+)
+from repro.metrics import modularity
+from repro.sequential import louvain
+
+
+class TestClique:
+    def test_edge_count(self):
+        g = clique(6)
+        assert g.num_edges == 15
+        assert np.all(g.degrees() == 5)
+
+    def test_weighted(self):
+        g = clique(4, weight=2.0)
+        assert g.total_weight == pytest.approx(12.0)
+
+    def test_single_vertex(self):
+        assert clique(1).num_edges == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            clique(0)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 10 + 4  # 4 cliques of C(5,2) + 4 bridges
+        g.validate()
+
+    def test_louvain_finds_cliques(self):
+        g = ring_of_cliques(6, 6)
+        res = louvain(g, seed=0)
+        assert np.unique(res.membership).size == 6
+        # each clique is one community
+        for c in range(6):
+            block = res.membership[c * 6 : (c + 1) * 6]
+            assert np.unique(block).size == 1
+
+    def test_known_modularity(self):
+        # ring of k cliques of size s: Q of the natural partition is
+        # 1 - 1/k - k/(2m) with m = k*C(s,2) + k
+        k, s = 5, 4
+        g = ring_of_cliques(k, s)
+        labels = np.repeat(np.arange(k), s)
+        m = k * (s * (s - 1) // 2) + k
+        expected = (1 - 1 / k) - k / m + 0.0
+        # derive directly: acc_c = 2*C(s,2); tot_c = 2*C(s,2)+2; Q = sum...
+        acc = 2 * (s * (s - 1) // 2)
+        tot = acc + 2
+        q = k * (acc / (2 * m) - (tot / (2 * m)) ** 2)
+        assert modularity(g, labels) == pytest.approx(q)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(1, 5)
+        with pytest.raises(ValueError):
+            ring_of_cliques(3, 1)
+
+
+class TestSimpleShapes:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert np.all(g.degrees() == 2)
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(8)
+        assert g.num_vertices == 9
+        assert g.degree(0) == 8
+        assert np.all(g.degrees()[1:] == 1)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degree(0) == 2  # corner
+        assert g.degree(5) == 4  # interior
+
+    def test_grid_single_cell(self):
+        assert grid_graph(1, 1).num_edges == 0
+
+
+class TestPlantedPartition:
+    def test_ground_truth_shape(self):
+        g, labels = planted_partition(4, 25, 0.4, 0.01, seed=1)
+        assert g.num_vertices == 100
+        assert labels.size == 100
+        assert np.unique(labels).size == 4
+
+    def test_strong_structure_detected(self):
+        g, labels = planted_partition(5, 20, 0.5, 0.01, seed=2)
+        res = louvain(g, seed=0)
+        from repro.metrics import normalized_mutual_information
+
+        assert normalized_mutual_information(res.membership, labels) > 0.9
+
+    def test_p_in_equals_p_out_is_random(self):
+        g, labels = planted_partition(4, 20, 0.2, 0.2, seed=3)
+        assert modularity(g, labels) == pytest.approx(0.0, abs=0.05)
+
+    def test_deterministic(self):
+        a, _ = planted_partition(3, 10, 0.5, 0.05, seed=4)
+        b, _ = planted_partition(3, 10, 0.5, 0.05, seed=4)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            planted_partition(2, 5, 0.1, 0.5)

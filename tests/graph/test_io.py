@@ -1,0 +1,72 @@
+"""Edge-list and npz I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, load_npz, read_edge_list, save_npz, write_edge_list
+
+
+@pytest.fixture
+def sample() -> Graph:
+    return Graph.from_edges([0, 1, 2, 3], [1, 2, 0, 3], [1.0, 2.5, 3.0, 0.5])
+
+
+class TestEdgeList:
+    def test_roundtrip_buffer(self, sample):
+        buf = io.StringIO()
+        write_edge_list(sample, buf)
+        buf.seek(0)
+        g = read_edge_list(buf)
+        assert g.num_vertices == sample.num_vertices
+        assert np.allclose(g.weights, sample.weights)
+
+    def test_roundtrip_file(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample, path)
+        g = read_edge_list(path)
+        assert g.total_weight == pytest.approx(sample.total_weight)
+
+    def test_unweighted_lines(self):
+        g = read_edge_list(io.StringIO("0 1\n1 2\n"))
+        assert g.num_edges == 2
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_comments_and_blanks_skipped(self):
+        g = read_edge_list(io.StringIO("# header\n\n0 1 2.0\n# trailing\n"))
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_bad_column_count_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edge_list(io.StringIO("0 1 2 3\n"))
+
+    def test_num_vertices_override(self):
+        g = read_edge_list(io.StringIO("0 1\n"), num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_write_without_weights(self, sample):
+        buf = io.StringIO()
+        write_edge_list(sample, buf, write_weights=False)
+        lines = [l for l in buf.getvalue().splitlines() if not l.startswith("#")]
+        assert all(len(l.split()) == 2 for l in lines)
+
+
+class TestNpz:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(sample, path)
+        g = load_npz(path)
+        assert g.num_vertices == sample.num_vertices
+        assert np.array_equal(g.indptr, sample.indptr)
+        assert np.array_equal(g.indices, sample.indices)
+        assert np.allclose(g.weights, sample.weights)
+
+    def test_roundtrip_with_loops(self, tmp_path):
+        g0 = Graph.from_edges([0, 1, 1], [0, 1, 2], [2.0, 1.0, 3.0])
+        path = tmp_path / "loops.npz"
+        save_npz(g0, path)
+        g = load_npz(path)
+        assert g.total_weight == pytest.approx(g0.total_weight)
+        assert np.allclose(g.self_loop_adjacency(), g0.self_loop_adjacency())

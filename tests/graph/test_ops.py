@@ -1,0 +1,118 @@
+"""Tests for structural graph operations."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    approximate_diameter,
+    connected_components,
+    degree_histogram,
+    global_clustering_coefficient,
+    largest_component,
+    relabel_contiguous,
+    remove_self_loops,
+    subgraph,
+)
+from tests.conftest import random_graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, two_cliques):
+        labels = connected_components(two_cliques)
+        assert np.unique(labels).size == 1
+
+    def test_two_components(self):
+        g = Graph.from_edges([0, 2], [1, 3])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices_get_own_component(self):
+        g = Graph.from_edges([0], [1], num_vertices=4)
+        labels = connected_components(g)
+        assert np.unique(labels).size == 3
+
+    def test_matches_networkx(self):
+        g = random_graph(60, 0.03, seed=3)
+        ours = connected_components(g)
+        nx_comps = list(nx.connected_components(g.to_networkx()))
+        assert np.unique(ours).size == len(nx_comps)
+
+    def test_largest_component(self):
+        g = Graph.from_edges([0, 1, 5], [1, 2, 6], num_vertices=7)
+        big = largest_component(g)
+        assert big.num_vertices == 3
+        assert big.num_edges == 2
+
+
+class TestSubgraph:
+    def test_full_subgraph_identity(self, two_cliques):
+        sg = subgraph(two_cliques, np.arange(two_cliques.num_vertices))
+        assert sg.num_edges == two_cliques.num_edges
+
+    def test_induced_edges_only(self, two_cliques):
+        sg = subgraph(two_cliques, np.arange(6))
+        assert sg.num_vertices == 6
+        assert sg.num_edges == 15  # one 6-clique
+
+    def test_relabeling(self):
+        g = Graph.from_edges([5, 7], [7, 9], num_vertices=10)
+        sg = subgraph(g, np.array([5, 7, 9]))
+        assert sg.num_vertices == 3
+        assert sg.has_edge(0, 1) and sg.has_edge(1, 2)
+
+
+class TestClustering:
+    def test_triangle_gcc_is_one(self):
+        g = Graph.from_edges([0, 1, 2], [1, 2, 0])
+        assert global_clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_star_gcc_is_zero(self):
+        g = Graph.from_edges([0, 0, 0], [1, 2, 3])
+        assert global_clustering_coefficient(g) == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        g = random_graph(80, 0.1, seed=5)
+        ours = global_clustering_coefficient(g)
+        theirs = nx.transitivity(g.to_networkx())
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_too_large_raises(self):
+        g = Graph.from_edges([0], [1])
+        with pytest.raises(ValueError):
+            global_clustering_coefficient(g, max_vertices=1)
+
+
+class TestMisc:
+    def test_degree_histogram(self, two_cliques):
+        hist = degree_histogram(two_cliques)
+        assert hist[5] == 10  # clique-internal vertices
+        assert hist[6] == 2  # the two bridge endpoints
+
+    def test_remove_self_loops(self):
+        g = Graph.from_edges([0, 1, 1], [0, 1, 2])
+        clean = remove_self_loops(g)
+        assert clean.num_edges == 1
+        assert clean.self_loop_adjacency().sum() == 0.0
+
+    def test_relabel_contiguous(self):
+        labels, originals = relabel_contiguous(np.array([10, 5, 10, 7]))
+        assert labels.tolist() == [2, 0, 2, 1]
+        assert originals.tolist() == [5, 7, 10]
+
+    def test_approximate_diameter_path(self):
+        # path graph 0-1-2-3-4: diameter 4
+        g = Graph.from_edges([0, 1, 2, 3], [1, 2, 3, 4])
+        d = approximate_diameter(g, num_seeds=4, seed=0)
+        assert d == 4
+
+    def test_approximate_diameter_lower_bounds_truth(self):
+        g = random_graph(50, 0.08, seed=9)
+        g = largest_component(g)
+        approx = approximate_diameter(g, num_seeds=3, seed=1)
+        true = nx.diameter(g.to_networkx())
+        assert approx <= true
+        assert approx >= max(1, true - 2)

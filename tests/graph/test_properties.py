@@ -1,0 +1,74 @@
+"""Property-based tests of the graph container's structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, coalesce_edges
+
+
+@st.composite
+def edge_lists(draw, max_vertices=24, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    k = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=k, max_size=k).map(np.array)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=k, max_size=k).map(np.array)
+    )
+    w = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=k,
+            max_size=k,
+        ).map(np.array)
+    )
+    return n, src.astype(np.int64), dst.astype(np.int64), w
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_graph_invariants(data):
+    n, src, dst, w = data
+    g = Graph.from_edges(src, dst, w, num_vertices=n)
+    g.validate()
+    # 2m equals the strength sum under the A-matrix convention.
+    assert np.isclose(g.strength.sum(), 2.0 * g.total_weight)
+    # Total weight equals the input weight sum (coalescing conserves mass).
+    assert np.isclose(g.total_weight, w.sum() if len(w) else 0.0)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_edge_arrays_roundtrip(data):
+    n, src, dst, w = data
+    g = Graph.from_edges(src, dst, w, num_vertices=n)
+    s2, d2, w2 = g.edge_arrays()
+    g2 = Graph.from_edges(s2, d2, w2, num_vertices=n)
+    assert np.array_equal(g.indptr, g2.indptr)
+    assert np.array_equal(g.indices, g2.indices)
+    assert np.allclose(g.weights, g2.weights)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_coalesce_is_idempotent(data):
+    _, src, dst, w = data
+    s1, d1, w1 = coalesce_edges(src, dst, w)
+    s2, d2, w2 = coalesce_edges(s1, d1, w1)
+    assert np.array_equal(s1, s2)
+    assert np.array_equal(d1, d2)
+    assert np.allclose(w1, w2)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_symmetry_of_edge_weight(data):
+    n, src, dst, w = data
+    g = Graph.from_edges(src, dst, w, num_vertices=n)
+    rng = np.random.default_rng(0)
+    for _ in range(min(10, n)):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        assert np.isclose(g.edge_weight(u, v), g.edge_weight(v, u))

@@ -1,0 +1,36 @@
+"""Tests for the text-rendering helpers."""
+
+from repro.harness import banner, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        header, sep, r1, r2 = lines
+        assert header.index("bb") == r1.index("2.5")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]], float_fmt="{:.2f}")
+        assert "0.12" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+def test_format_series():
+    s = format_series("speedup", [2, 4], [1.9, 3.7])
+    assert s.startswith("speedup:")
+    assert "2=1.9" in s and "4=3.7" in s
+
+
+def test_banner():
+    b = banner("Fig. 9", width=40)
+    assert "Fig. 9" in b
+    assert len(b) == 40

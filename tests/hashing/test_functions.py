@@ -1,0 +1,134 @@
+"""Tests for hash functions and key packing (Eqs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    HASH_FUNCTIONS,
+    bitwise_hash,
+    concatenated_hash,
+    fibonacci_hash,
+    get_hash_function,
+    linear_congruential_hash,
+    pack_key,
+    unpack_key,
+)
+
+
+class TestPackKey:
+    def test_roundtrip_default_shift(self):
+        rng = np.random.default_rng(0)
+        t1 = rng.integers(0, 2**31, 1000).astype(np.uint64)
+        t2 = rng.integers(0, 2**31, 1000).astype(np.uint64)
+        k = pack_key(t1, t2)
+        a, b = unpack_key(k)
+        assert np.array_equal(a, t1.astype(np.int64))
+        assert np.array_equal(b, t2.astype(np.int64))
+
+    def test_roundtrip_paper_shift16(self):
+        t1 = np.array([0, 1, 65535], dtype=np.uint64)
+        t2 = np.array([65535, 0, 1], dtype=np.uint64)
+        k = pack_key(t1, t2, shift=16)
+        a, b = unpack_key(k, shift=16)
+        assert np.array_equal(a, t1.astype(np.int64))
+        assert np.array_equal(b, t2.astype(np.int64))
+
+    def test_paper_formula_example(self):
+        # Eq. 5: f(t1, t2) = (t1 << 16) | t2
+        k = pack_key(np.array([3], dtype=np.uint64), np.array([5], dtype=np.uint64), shift=16)
+        assert int(k[0]) == (3 << 16) | 5
+
+    def test_overflow_t2_raises(self):
+        with pytest.raises(ValueError, match="t2"):
+            pack_key(np.array([0], dtype=np.uint64), np.array([1 << 16], dtype=np.uint64), shift=16)
+
+    def test_overflow_t1_raises(self):
+        with pytest.raises(ValueError, match="t1"):
+            pack_key(np.array([1 << 48], dtype=np.uint64), np.array([0], dtype=np.uint64), shift=16)
+
+    def test_bad_shift_raises(self):
+        with pytest.raises(ValueError):
+            pack_key(np.array([0], dtype=np.uint64), np.array([0], dtype=np.uint64), shift=0)
+
+    def test_injective(self):
+        rng = np.random.default_rng(1)
+        t1 = rng.integers(0, 5000, 20000).astype(np.uint64)
+        t2 = rng.integers(0, 5000, 20000).astype(np.uint64)
+        keys = pack_key(t1, t2)
+        pairs = set(zip(t1.tolist(), t2.tolist()))
+        assert np.unique(keys).size == len(pairs)
+
+
+@pytest.mark.parametrize("name", sorted(HASH_FUNCTIONS))
+class TestHashFamilies:
+    def test_in_range(self, name):
+        fn = get_hash_function(name)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2**63, 5000).astype(np.uint64)
+        for m in (7, 64, 1000, 4096):
+            bins = fn(keys, m)
+            assert bins.min() >= 0
+            assert bins.max() < m
+
+    def test_deterministic(self, name):
+        fn = get_hash_function(name)
+        keys = np.arange(1000, dtype=np.uint64) * np.uint64(2654435761)
+        assert np.array_equal(fn(keys, 512), fn(keys, 512))
+
+    def test_empty_input(self, name):
+        fn = get_hash_function(name)
+        out = fn(np.empty(0, dtype=np.uint64), 64)
+        assert out.size == 0
+
+
+class TestDistributionQuality:
+    """Fibonacci and LCG must spread packed sequential keys; the weak hashes
+    exist to lose (paper §V-C1)."""
+
+    @staticmethod
+    def _packed_sequential_keys(n=20000):
+        # Edge keys of a 1D-partitioned graph: low entropy in both halves.
+        t1 = np.arange(n, dtype=np.uint64) % 997
+        t2 = np.arange(n, dtype=np.uint64) % 1009
+        return pack_key(t1, t2)
+
+    def test_fibonacci_spreads_sequential_ids(self):
+        keys = np.arange(10000, dtype=np.uint64)
+        bins = fibonacci_hash(keys, 1024)
+        counts = np.bincount(bins, minlength=1024)
+        # near-uniform: max occupancy close to mean
+        assert counts.max() <= 3 * counts.mean()
+
+    def test_fibonacci_beats_concatenated_on_clustered_keys(self):
+        keys = self._packed_sequential_keys()
+        m = 4096
+        fib = np.bincount(fibonacci_hash(keys, m), minlength=m)
+        cat = np.bincount(concatenated_hash(keys, m), minlength=m)
+        assert fib.max() < cat.max()
+
+    def test_lcg_reasonable(self):
+        keys = self._packed_sequential_keys()
+        m = 4096
+        lcg = np.bincount(linear_congruential_hash(keys, m), minlength=m)
+        assert lcg.max() <= 6 * lcg.mean()
+
+    def test_scaling_exact_against_python_ints(self):
+        """The 32-bit-halves multiply-high must match exact integer math."""
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2**63, 200).astype(np.uint64)
+        m = 1000
+        got = fibonacci_hash(keys, m)
+        mult = 0x9E3779B97F4A7C15
+        for k, b in zip(keys.tolist(), got.tolist()):
+            h = (int(k) * mult) % (1 << 64)
+            exact = (h * m) >> 64
+            assert abs(b - exact) <= 1  # 32-bit split may round down by 1
+
+    def test_num_bins_too_large_raises(self):
+        with pytest.raises(ValueError):
+            fibonacci_hash(np.array([1], dtype=np.uint64), 2**33)
+
+
+def test_unknown_hash_name_raises():
+    with pytest.raises(ValueError, match="unknown hash"):
+        get_hash_function("nope")

@@ -1,0 +1,73 @@
+"""Tests for hash-table bin statistics (Fig. 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    EdgeHashTable,
+    bin_lengths,
+    load_factor_sweep,
+    per_thread_stats,
+    table_stats,
+)
+
+
+@pytest.fixture
+def keys():
+    rng = np.random.default_rng(0)
+    return rng.choice(2**40, size=4096, replace=False).astype(np.uint64)
+
+
+class TestBinLengths:
+    def test_total_is_preserved(self, keys):
+        lengths = bin_lengths(keys, 512, "fibonacci")
+        assert lengths.sum() == keys.size
+
+    def test_accepts_callable(self, keys):
+        fn = lambda k, m: np.zeros(len(k), dtype=np.int64)  # noqa: E731
+        lengths = bin_lengths(keys, 8, fn)
+        assert lengths[0] == keys.size
+        assert lengths[1:].sum() == 0
+
+
+class TestPerThreadStats:
+    def test_entries_partition_the_keys(self, keys):
+        st = per_thread_stats(keys, 1024, 32)
+        assert st.num_threads == 32
+        assert st.entries.sum() == keys.size
+
+    def test_avg_bin_length_at_least_one(self, keys):
+        st = per_thread_stats(keys, 1024, 8)
+        nonzero = st.avg_bin_length[st.entries > 0]
+        assert np.all(nonzero >= 1.0)
+
+    def test_max_at_least_avg(self, keys):
+        st = per_thread_stats(keys, 1024, 8)
+        assert np.all(st.max_bin_length >= np.floor(st.avg_bin_length))
+
+    def test_single_thread(self, keys):
+        st = per_thread_stats(keys, 256, 1)
+        assert st.entries[0] == keys.size
+
+
+class TestLoadFactorSweep:
+    def test_avg_bin_length_monotone_in_load_factor(self, keys):
+        """Fig. 6d: lower load factor -> shorter average bins."""
+        sweep = load_factor_sweep(keys, [2.0, 1.0, 0.5, 0.25, 0.125], 4)
+        means = [sweep[lf].avg_bin_length.mean() for lf in [2.0, 1.0, 0.5, 0.25, 0.125]]
+        assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))
+
+    def test_smallest_load_factor_near_one(self, keys):
+        sweep = load_factor_sweep(keys, [0.125], 4)
+        assert sweep[0.125].avg_bin_length.mean() < 1.15
+
+    def test_bad_load_factor_raises(self, keys):
+        with pytest.raises(ValueError):
+            load_factor_sweep(keys, [0.0], 4)
+
+
+def test_table_stats_counts_live_entries(keys):
+    t = EdgeHashTable(4096, max_load_factor=0.5)
+    t.insert_accumulate(keys, np.ones(keys.size))
+    st = table_stats(t, 16)
+    assert st.entries.sum() == keys.size

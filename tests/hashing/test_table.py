@@ -1,0 +1,156 @@
+"""Unit tests for the accumulating open-addressing hash table."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import EMPTY_KEY, EdgeHashTable
+
+
+def keys_of(*vals) -> np.ndarray:
+    return np.array(vals, dtype=np.uint64)
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        t = EdgeHashTable(16)
+        t.insert_accumulate(keys_of(1, 2, 3), np.array([1.0, 2.0, 3.0]))
+        assert len(t) == 3
+        assert t.lookup(keys_of(2, 3, 1)).tolist() == [2.0, 3.0, 1.0]
+
+    def test_missing_key_default(self):
+        t = EdgeHashTable(16)
+        t.insert_accumulate(keys_of(1), np.array([1.0]))
+        assert t.lookup(keys_of(99))[0] == 0.0
+        assert t.lookup(keys_of(99), default=-1.0)[0] == -1.0
+
+    def test_accumulate_same_key(self):
+        t = EdgeHashTable(16)
+        t.insert_accumulate(keys_of(7), np.array([1.5]))
+        t.insert_accumulate(keys_of(7), np.array([2.5]))
+        assert len(t) == 1
+        assert t.lookup(keys_of(7))[0] == 4.0
+
+    def test_intra_batch_duplicates_coalesce(self):
+        t = EdgeHashTable(16)
+        t.insert_accumulate(keys_of(5, 5, 5), np.array([1.0, 2.0, 3.0]))
+        assert len(t) == 1
+        assert t.lookup(keys_of(5))[0] == 6.0
+
+    def test_empty_batch_noop(self):
+        t = EdgeHashTable(16)
+        t.insert_accumulate(np.empty(0, dtype=np.uint64), np.empty(0))
+        assert len(t) == 0
+
+    def test_clear(self):
+        t = EdgeHashTable(16)
+        t.insert_accumulate(keys_of(1, 2), np.array([1.0, 1.0]))
+        t.clear()
+        assert len(t) == 0
+        assert t.lookup(keys_of(1))[0] == 0.0
+
+    def test_items_match_inserts(self):
+        t = EdgeHashTable(64)
+        k = keys_of(*range(10))
+        w = np.arange(10, dtype=np.float64)
+        t.insert_accumulate(k, w)
+        got_k, got_w = t.items()
+        order = np.argsort(got_k)
+        assert np.array_equal(got_k[order], k)
+        assert np.allclose(got_w[order], w)
+
+    def test_contains(self):
+        t = EdgeHashTable(16)
+        t.insert_accumulate(keys_of(3, 4), np.array([0.0, 1.0]))
+        got = t.contains(keys_of(3, 4, 5))
+        assert got.tolist() == [True, True, False]
+
+    def test_mismatched_lengths_raise(self):
+        t = EdgeHashTable(16)
+        with pytest.raises(ValueError):
+            t.insert_accumulate(keys_of(1, 2), np.array([1.0]))
+
+    def test_empty_sentinel_rejected(self):
+        t = EdgeHashTable(16)
+        with pytest.raises(ValueError, match="sentinel"):
+            t.insert_accumulate(np.array([EMPTY_KEY]), np.array([1.0]))
+
+
+class TestGrowthAndLoadFactor:
+    def test_auto_grow(self):
+        t = EdgeHashTable(8, max_load_factor=0.5)
+        t.insert_accumulate(np.arange(100, dtype=np.uint64), np.ones(100))
+        assert len(t) == 100
+        assert t.load_factor <= 0.5
+        assert np.allclose(t.lookup(np.arange(100, dtype=np.uint64)), 1.0)
+
+    def test_no_grow_overflow_raises(self):
+        t = EdgeHashTable(8, max_load_factor=1.0, auto_grow=False)
+        with pytest.raises(OverflowError):
+            t.insert_accumulate(np.arange(20, dtype=np.uint64), np.ones(20))
+
+    def test_no_grow_within_capacity_ok(self):
+        t = EdgeHashTable(32, max_load_factor=1.0, auto_grow=False)
+        t.insert_accumulate(np.arange(32, dtype=np.uint64), np.ones(32))
+        assert len(t) == 32  # completely full table still answers lookups
+        assert np.allclose(t.lookup(np.arange(32, dtype=np.uint64)), 1.0)
+        assert not t.contains(keys_of(999))[0]
+
+    def test_rehash_preserves_contents(self):
+        t = EdgeHashTable(8, max_load_factor=0.25)
+        k = (np.arange(50, dtype=np.uint64) * np.uint64(7919)) + np.uint64(1)
+        w = np.linspace(0.1, 5.0, 50)
+        t.insert_accumulate(k, w)
+        assert np.allclose(t.lookup(k), w)
+
+    def test_bad_load_factor_raises(self):
+        with pytest.raises(ValueError):
+            EdgeHashTable(8, max_load_factor=0.0)
+        with pytest.raises(ValueError):
+            EdgeHashTable(8, max_load_factor=2.5)
+
+
+class TestCollisions:
+    def test_forced_collisions_resolved(self):
+        # Many keys into a small fixed-capacity table: heavy probing.
+        t = EdgeHashTable(64, max_load_factor=0.95, auto_grow=False)
+        rng = np.random.default_rng(0)
+        k = rng.choice(2**50, size=60, replace=False).astype(np.uint64)
+        w = rng.random(60)
+        t.insert_accumulate(k, w)
+        assert np.allclose(t.lookup(k), w)
+        assert t.probe_count > 60  # probing actually happened
+
+    def test_adversarial_same_bin_keys(self):
+        """Keys engineered to share a home bin chain correctly."""
+        t = EdgeHashTable(1024, hash_function=lambda keys, m: np.zeros(len(keys), dtype=np.int64))
+        k = np.arange(1, 33, dtype=np.uint64)
+        w = np.ones(32)
+        t.insert_accumulate(k, w)
+        assert np.allclose(t.lookup(k), w)
+        bins = t.home_bins()
+        assert np.all(bins == 0)
+
+    def test_interleaved_insert_lookup(self):
+        t = EdgeHashTable(16)
+        rng = np.random.default_rng(4)
+        model: dict[int, float] = {}
+        for _ in range(20):
+            k = rng.integers(1, 50, size=8).astype(np.uint64)
+            w = rng.random(8)
+            t.insert_accumulate(k, w)
+            for kk, ww in zip(k.tolist(), w.tolist()):
+                model[kk] = model.get(kk, 0.0) + ww
+            probe = np.array(sorted(model), dtype=np.uint64)
+            expected = np.array([model[int(x)] for x in probe])
+            assert np.allclose(t.lookup(probe), expected)
+        assert len(t) == len(model)
+
+
+@pytest.mark.parametrize("hash_name", ["fibonacci", "linear_congruential", "bitwise", "concatenated"])
+def test_all_hash_families_work_in_table(hash_name):
+    t = EdgeHashTable(32, hash_function=hash_name)
+    k = (np.arange(200, dtype=np.uint64) << np.uint64(16)) | np.uint64(3)
+    w = np.full(200, 0.5)
+    t.insert_accumulate(k, w)
+    assert len(t) == 200
+    assert np.allclose(t.lookup(k), 0.5)

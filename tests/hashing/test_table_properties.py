@@ -1,0 +1,71 @@
+"""Property-based tests: the hash table must behave like a dict of sums."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import HASH_FUNCTIONS, EdgeHashTable
+
+
+@st.composite
+def batches(draw, max_batches=6, max_batch=40):
+    n_batches = draw(st.integers(1, max_batches))
+    out = []
+    for _ in range(n_batches):
+        k = draw(st.integers(0, max_batch))
+        keys = draw(st.lists(st.integers(0, 200), min_size=k, max_size=k))
+        weights = draw(
+            st.lists(
+                st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+        out.append((np.array(keys, dtype=np.uint64), np.array(weights)))
+    return out
+
+
+@given(batches(), st.sampled_from(sorted(HASH_FUNCTIONS)))
+@settings(max_examples=80, deadline=None)
+def test_table_equals_dict_model(data, hash_name):
+    table = EdgeHashTable(8, hash_function=hash_name, max_load_factor=0.5)
+    model: dict[int, float] = {}
+    for keys, weights in data:
+        table.insert_accumulate(keys, weights)
+        for k, w in zip(keys.tolist(), weights.tolist()):
+            model[k] = model.get(k, 0.0) + w
+    assert len(table) == len(model)
+    if model:
+        probe = np.array(sorted(model), dtype=np.uint64)
+        expected = np.array([model[int(k)] for k in probe])
+        assert np.allclose(table.lookup(probe), expected)
+    # absent keys are absent
+    absent = np.array([k for k in range(201, 211)], dtype=np.uint64)
+    assert not table.contains(absent).any()
+
+
+@given(batches())
+@settings(max_examples=40, deadline=None)
+def test_items_are_consistent_with_lookup(data):
+    table = EdgeHashTable(16)
+    for keys, weights in data:
+        table.insert_accumulate(keys, weights)
+    got_keys, got_weights = table.items()
+    assert np.unique(got_keys).size == got_keys.size  # keys stored once
+    assert np.allclose(table.lookup(got_keys), got_weights)
+
+
+@given(st.integers(1, 63))
+@settings(max_examples=30, deadline=None)
+def test_pack_unpack_roundtrip_any_shift(shift):
+    from repro.hashing import pack_key, unpack_key
+
+    rng = np.random.default_rng(shift)
+    hi_max = (1 << (64 - shift)) - 1
+    lo_max = (1 << shift) - 1
+    t1 = rng.integers(0, min(hi_max, 2**31) + 1, 64).astype(np.uint64)
+    t2 = rng.integers(0, min(lo_max, 2**31) + 1, 64).astype(np.uint64)
+    k = pack_key(t1, t2, shift=shift)
+    a, b = unpack_key(k, shift=shift)
+    assert np.array_equal(a, t1.astype(np.int64))
+    assert np.array_equal(b, t2.astype(np.int64))

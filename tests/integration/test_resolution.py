@@ -1,0 +1,83 @@
+"""Tests for the resolution (γ) parameter across all three layers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import ring_of_cliques
+from repro.metrics import modularity, modularity_gain
+from repro.parallel import ParallelLouvainConfig, parallel_louvain
+from repro.sequential import louvain
+
+
+class TestMetricResolution:
+    def test_gamma_one_is_plain_modularity(self, two_cliques):
+        labels = np.array([0] * 6 + [1] * 6)
+        assert modularity(two_cliques, labels, resolution=1.0) == modularity(
+            two_cliques, labels
+        )
+
+    def test_higher_gamma_penalizes_large_communities(self, two_cliques):
+        one_blob = np.zeros(two_cliques.num_vertices, dtype=np.int64)
+        assert modularity(two_cliques, one_blob, resolution=2.0) < modularity(
+            two_cliques, one_blob, resolution=1.0
+        )
+
+    def test_gain_scales_penalty_term(self):
+        base = modularity_gain(1.0, 4.0, 2.0, 10.0)
+        sharp = modularity_gain(1.0, 4.0, 2.0, 10.0, resolution=2.0)
+        assert sharp < base
+
+
+class TestSequentialResolution:
+    def test_default_unchanged(self, small_lfr):
+        a = louvain(small_lfr.graph, seed=0)
+        b = louvain(small_lfr.graph, seed=0, resolution=1.0)
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_higher_gamma_more_communities(self):
+        g = ring_of_cliques(8, 5)
+        coarse = louvain(g, seed=0, resolution=0.3)
+        fine = louvain(g, seed=0, resolution=3.0)
+        assert (
+            np.unique(fine.membership).size > np.unique(coarse.membership).size
+        )
+
+    def test_gamma_resolves_resolution_limit(self):
+        """Many small cliques in a big ring merge at γ=1 but split at γ>1 --
+        the textbook resolution-limit demonstration."""
+        g = ring_of_cliques(30, 4)
+        plain = louvain(g, seed=0, resolution=1.0)
+        sharp = louvain(g, seed=0, resolution=4.0)
+        assert np.unique(plain.membership).size < 30  # cliques merged
+        assert np.unique(sharp.membership).size == 30  # recovered
+
+
+class TestParallelResolution:
+    def test_default_unchanged(self, small_lfr):
+        a = parallel_louvain(small_lfr.graph, num_ranks=4)
+        b = parallel_louvain(
+            small_lfr.graph, ParallelLouvainConfig(num_ranks=4, resolution=1.0)
+        )
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_reported_q_uses_gamma(self, small_lfr):
+        res = parallel_louvain(
+            small_lfr.graph, ParallelLouvainConfig(num_ranks=4, resolution=1.7)
+        )
+        assert modularity(
+            small_lfr.graph, res.membership, resolution=1.7
+        ) == pytest.approx(res.final_modularity, abs=1e-9)
+
+    def test_higher_gamma_more_communities(self):
+        g = ring_of_cliques(12, 5)
+        coarse = parallel_louvain(g, ParallelLouvainConfig(num_ranks=4, resolution=0.3))
+        fine = parallel_louvain(g, ParallelLouvainConfig(num_ranks=4, resolution=3.0))
+        assert (
+            np.unique(fine.membership).size > np.unique(coarse.membership).size
+        )
+
+    def test_parallel_matches_sequential_at_gamma(self):
+        g = ring_of_cliques(10, 5)
+        seq = louvain(g, seed=0, resolution=2.0)
+        par = parallel_louvain(g, ParallelLouvainConfig(num_ranks=4, resolution=2.0))
+        assert np.unique(par.membership).size == np.unique(seq.membership).size

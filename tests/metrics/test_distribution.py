@@ -1,0 +1,66 @@
+"""Tests for community-size distributions and the evolution ratio."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    community_sizes,
+    evolution_ratio,
+    largest_community_size,
+    log_binned_size_distribution,
+    size_histogram,
+)
+
+
+class TestCommunitySizes:
+    def test_descending(self):
+        labels = np.array([0, 0, 0, 1, 1, 2])
+        assert community_sizes(labels).tolist() == [3, 2, 1]
+
+    def test_empty(self):
+        assert community_sizes(np.array([], dtype=np.int64)).size == 0
+
+    def test_largest(self):
+        labels = np.array([5, 5, 9])
+        assert largest_community_size(labels) == 2
+        assert largest_community_size(np.array([], dtype=np.int64)) == 0
+
+    def test_label_values_irrelevant(self):
+        a = community_sizes(np.array([0, 0, 1]))
+        b = community_sizes(np.array([100, 100, -7]))
+        assert np.array_equal(a, b)
+
+
+class TestHistograms:
+    def test_size_histogram(self):
+        labels = np.array([0, 0, 1, 1, 2, 3])
+        sizes, counts = size_histogram(labels)
+        assert sizes.tolist() == [1, 2]
+        assert counts.tolist() == [2, 2]
+
+    def test_log_binned_total(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 50, 500)
+        edges, counts = log_binned_size_distribution(labels)
+        assert counts.sum() == np.unique(labels).size
+
+    def test_log_binned_edges_increasing(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 30, 300)
+        edges, _ = log_binned_size_distribution(labels)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_empty_labels(self):
+        edges, counts = log_binned_size_distribution(np.array([], dtype=np.int64))
+        assert edges.size == 0 and counts.size == 0
+
+
+class TestEvolutionRatio:
+    def test_basic(self):
+        assert evolution_ratio(50, 200) == pytest.approx(0.25)
+
+    def test_degenerate(self):
+        assert evolution_ratio(5, 0) == 0.0
+
+    def test_identity(self):
+        assert evolution_ratio(100, 100) == 1.0

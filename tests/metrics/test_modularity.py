@@ -1,0 +1,110 @@
+"""Tests for modularity and the Louvain gain formula (Eqs. 3-4)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.metrics import community_aggregates, modularity, modularity_gain
+from tests.conftest import random_graph
+
+
+def nx_modularity(graph: Graph, labels: np.ndarray) -> float:
+    comms: dict[int, set] = {}
+    for v, c in enumerate(labels.tolist()):
+        comms.setdefault(c, set()).add(v)
+    return nx.algorithms.community.modularity(
+        graph.to_networkx(), list(comms.values())
+    )
+
+
+class TestModularity:
+    def test_two_cliques_matches_networkx(self, two_cliques):
+        labels = np.array([0] * 6 + [1] * 6)
+        assert modularity(two_cliques, labels) == pytest.approx(
+            nx_modularity(two_cliques, labels), abs=1e-12
+        )
+
+    def test_singletons_match_networkx(self, two_cliques):
+        labels = np.arange(two_cliques.num_vertices)
+        assert modularity(two_cliques, labels) == pytest.approx(
+            nx_modularity(two_cliques, labels), abs=1e-12
+        )
+
+    def test_single_community_is_zero(self, two_cliques):
+        labels = np.zeros(two_cliques.num_vertices, dtype=np.int64)
+        assert modularity(two_cliques, labels) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_partitions_match_networkx(self, seed):
+        g = random_graph(40, 0.15, seed=seed, weighted=True)
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 5, g.num_vertices)
+        assert modularity(g, labels) == pytest.approx(
+            nx_modularity(g, labels), abs=1e-10
+        )
+
+    def test_with_self_loops_matches_networkx(self, weighted_loop_graph):
+        labels = np.array([0, 0, 1, 1])
+        assert modularity(weighted_loop_graph, labels) == pytest.approx(
+            nx_modularity(weighted_loop_graph, labels), abs=1e-12
+        )
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], [])
+        assert modularity(g, np.array([], dtype=np.int64)) == 0.0
+
+    def test_label_length_mismatch_raises(self, two_cliques):
+        with pytest.raises(ValueError):
+            modularity(two_cliques, np.zeros(3, dtype=np.int64))
+
+
+class TestAggregates:
+    def test_acc_tot_two_cliques(self, two_cliques):
+        labels = np.array([0] * 6 + [1] * 6)
+        acc, tot = community_aggregates(two_cliques, labels)
+        # clique 0: 15 internal edges doubled = 30; strengths: 5*5 + 6 = 31
+        assert acc[0] == pytest.approx(30.0)
+        assert tot[0] == pytest.approx(31.0)
+        assert tot.sum() == pytest.approx(2 * two_cliques.total_weight)
+
+
+class TestModularityGain:
+    """ΔQ (Eq. 4) must equal the actual modularity change of the move."""
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_gain_matches_recomputed_q(self, seed):
+        g = random_graph(30, 0.2, seed=seed, weighted=True)
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, g.num_vertices).astype(np.int64)
+        m = g.total_weight
+        for u in range(0, g.num_vertices, 3):
+            cu = labels[u]
+            # Isolate u first (the gain formula assumes an isolated vertex).
+            iso = labels.copy()
+            iso[u] = labels.max() + 1
+            q_iso = modularity(g, iso)
+            nbr_comms = set(labels[g.neighbors(u)].tolist()) - {labels.max() + 1}
+            for c in nbr_comms:
+                moved = iso.copy()
+                moved[u] = c
+                q_moved = modularity(g, moved)
+                w_u_to_c = float(
+                    g.neighbor_weights(u)[
+                        (labels[g.neighbors(u)] == c) & (g.neighbors(u) != u)
+                    ].sum()
+                )
+                sigma_tot = float(g.strength[iso == c].sum())
+                gain = modularity_gain(w_u_to_c, sigma_tot, float(g.strength[u]), m)
+                assert gain == pytest.approx(q_moved - q_iso, abs=1e-10)
+
+    def test_vectorized_over_candidates(self):
+        g = random_graph(20, 0.3, seed=6)
+        w = np.array([1.0, 2.0, 0.5])
+        sigma = np.array([4.0, 8.0, 2.0])
+        gains = modularity_gain(w, sigma, 3.0, g.total_weight)
+        assert gains.shape == (3,)
+        for i in range(3):
+            assert gains[i] == pytest.approx(
+                modularity_gain(float(w[i]), float(sigma[i]), 3.0, g.total_weight)
+            )

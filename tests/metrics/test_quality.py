@@ -1,0 +1,113 @@
+"""Tests for coverage / performance / conductance quality metrics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.metrics import (
+    conductance,
+    coverage,
+    mean_conductance,
+    partition_summary,
+    performance,
+)
+from tests.conftest import random_graph
+
+
+class TestCoverage:
+    def test_single_community_is_one(self, two_cliques):
+        labels = np.zeros(two_cliques.num_vertices, dtype=np.int64)
+        assert coverage(two_cliques, labels) == pytest.approx(1.0)
+
+    def test_singletons_only_cover_self_loops(self, two_cliques):
+        labels = np.arange(two_cliques.num_vertices)
+        assert coverage(two_cliques, labels) == pytest.approx(0.0)
+
+    def test_two_cliques_partition(self, two_cliques):
+        labels = np.array([0] * 6 + [1] * 6)
+        # 30 of 31 edges internal
+        assert coverage(two_cliques, labels) == pytest.approx(30 / 31)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], [])
+        assert coverage(g, np.array([], dtype=np.int64)) == 1.0
+
+    def test_matches_networkx_partition_quality(self):
+        g = random_graph(40, 0.15, seed=1)
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 4, g.num_vertices)
+        comms = [set(np.flatnonzero(labels == c)) for c in range(4)]
+        nx_cov, nx_perf = nx.algorithms.community.partition_quality(
+            g.to_networkx(), comms
+        )
+        assert coverage(g, labels) == pytest.approx(nx_cov)
+        assert performance(g, labels) == pytest.approx(nx_perf)
+
+
+class TestPerformance:
+    def test_perfect_partition(self, two_cliques):
+        labels = np.array([0] * 6 + [1] * 6)
+        # only the bridge edge is "misclassified": 1 of 66 pairs
+        assert performance(two_cliques, labels) == pytest.approx(65 / 66)
+
+    def test_single_community_counts_non_edges_as_errors(self):
+        g = Graph.from_edges([0], [1], num_vertices=4)
+        labels = np.zeros(4, dtype=np.int64)
+        # pairs: 6; correct: the 1 edge; 5 non-edges inside the community
+        assert performance(g, labels) == pytest.approx(1 / 6)
+
+    def test_label_mismatch_raises(self, two_cliques):
+        with pytest.raises(ValueError):
+            performance(two_cliques, np.zeros(2, dtype=np.int64))
+
+
+class TestConductance:
+    def test_isolated_components_are_zero(self):
+        g = Graph.from_edges([0, 2], [1, 3])
+        labels = np.array([0, 0, 1, 1])
+        assert np.allclose(conductance(g, labels), 0.0)
+
+    def test_two_cliques_bridge(self, two_cliques):
+        labels = np.array([0] * 6 + [1] * 6)
+        cond = conductance(two_cliques, labels)
+        # community 0: volume 31, cut 1 -> 1/31
+        assert cond[0] == pytest.approx(1 / 31)
+        assert cond[1] == pytest.approx(1 / 31)
+
+    def test_bad_partition_has_high_conductance(self):
+        g = random_graph(60, 0.2, seed=2)
+        rng = np.random.default_rng(2)
+        random_labels = rng.integers(0, 6, g.num_vertices)
+        assert mean_conductance(g, random_labels) > 0.5
+
+    def test_good_partition_lower_than_random(self, small_lfr):
+        from repro.sequential import louvain
+
+        res = louvain(small_lfr.graph, seed=0)
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(res.membership)
+        assert mean_conductance(small_lfr.graph, res.membership) < mean_conductance(
+            small_lfr.graph, shuffled
+        )
+
+    def test_empty(self):
+        g = Graph.from_edges([], [])
+        assert conductance(g, np.array([], dtype=np.int64)).size == 0
+        assert mean_conductance(g, np.array([], dtype=np.int64)) == 0.0
+
+
+class TestSummary:
+    def test_all_keys(self, small_lfr):
+        from repro.sequential import louvain
+
+        res = louvain(small_lfr.graph, seed=0)
+        summary = partition_summary(small_lfr.graph, res.membership)
+        assert set(summary) == {
+            "modularity", "coverage", "performance",
+            "mean_conductance", "num_communities",
+        }
+        assert summary["modularity"] > 0.5
+        assert 0 <= summary["coverage"] <= 1
+        assert 0 <= summary["performance"] <= 1
+        assert summary["num_communities"] >= 2

@@ -1,0 +1,201 @@
+"""Tests for the Table II/III partition-similarity metrics."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    adjusted_rand_index,
+    compare_partitions,
+    contingency_table,
+    f_measure,
+    jaccard_index,
+    normalized_mutual_information,
+    normalized_van_dongen,
+    pair_counts,
+    rand_index,
+)
+
+
+def brute_force_pairs(a: np.ndarray, b: np.ndarray):
+    """O(n^2) reference for the pair-counting metrics."""
+    n = a.size
+    s11 = s10 = s01 = s00 = 0
+    for i, j in itertools.combinations(range(n), 2):
+        ta = a[i] == a[j]
+        tb = b[i] == b[j]
+        if ta and tb:
+            s11 += 1
+        elif ta:
+            s10 += 1
+        elif tb:
+            s01 += 1
+        else:
+            s00 += 1
+    return s11, s10, s01, s00
+
+
+LABELS = st.lists(st.integers(0, 5), min_size=2, max_size=40)
+
+
+class TestPairCounting:
+    @given(LABELS, st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_pair_counts_match_brute_force(self, labels_a, seed):
+        a = np.array(labels_a)
+        rng = np.random.default_rng(seed)
+        b = rng.integers(0, 4, a.size)
+        pc = pair_counts(a, b)
+        s11, s10, s01, s00 = brute_force_pairs(a, b)
+        assert pc.together_both == s11
+        assert pc.together_a_only == s10
+        assert pc.together_b_only == s01
+        assert pc.apart_both == s00
+
+    def test_rand_index_identical(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert rand_index(a, a) == 1.0
+        assert adjusted_rand_index(a, a) == 1.0
+        assert jaccard_index(a, a) == 1.0
+
+    def test_rand_index_label_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 7, 7])
+        assert rand_index(a, b) == 1.0
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_ari_near_zero_for_random(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 10, 2000)
+        b = rng.integers(0, 10, 2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_known_ari_value(self):
+        # classic example: sklearn.metrics.adjusted_rand_score reference
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 2])
+        assert adjusted_rand_index(a, b) == pytest.approx(0.57142857, abs=1e-6)
+
+    def test_jaccard_disjoint(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        pc = pair_counts(a, b)
+        assert pc.together_both == 0
+        assert jaccard_index(a, b) == 0.0
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        a = np.array([0, 1, 1, 2, 2, 2])
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_single_blob_vs_anything(self):
+        a = np.zeros(10, dtype=np.int64)
+        b = np.arange(10)
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 8, 5000)
+        b = rng.integers(0, 8, 5000)
+        assert normalized_mutual_information(a, b) < 0.02
+
+    def test_known_value_half_split(self):
+        # a splits in half; b splits in quarters refining a: NMI = H(a)/mean
+        a = np.array([0] * 4 + [1] * 4)
+        b = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        ha = np.log(2)
+        hb = np.log(4)
+        expected = ha / ((ha + hb) / 2)
+        assert normalized_mutual_information(a, b) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("norm", ["arithmetic", "geometric", "max"])
+    def test_normalizations_bounded(self, norm):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 5, 300)
+        b = rng.integers(0, 5, 300)
+        v = normalized_mutual_information(a, b, normalization=norm)
+        assert 0.0 <= v <= 1.0
+
+    def test_unknown_normalization_raises(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(
+                np.array([0, 1]), np.array([0, 1]), normalization="bogus"
+            )
+
+
+class TestFMeasureAndNVD:
+    def test_identical_partitions(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert f_measure(a, a) == pytest.approx(1.0)
+        assert normalized_van_dongen(a, a) == pytest.approx(0.0)
+
+    def test_f_measure_symmetric(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 6, 200)
+        b = rng.integers(0, 4, 200)
+        assert f_measure(a, b) == pytest.approx(f_measure(b, a))
+
+    def test_nvd_symmetric(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 6, 200)
+        b = rng.integers(0, 4, 200)
+        assert normalized_van_dongen(a, b) == pytest.approx(
+            normalized_van_dongen(b, a)
+        )
+
+    def test_nvd_known_value(self):
+        # a = {0,1},{2,3}; b = {0,2},{1,3}: every max overlap is 1.
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        # NVD = 1 - (sum_row_max + sum_col_max) / (2n) = 1 - (2 + 2) / 8
+        assert normalized_van_dongen(a, b) == pytest.approx(0.5)
+
+    def test_f_measure_degrades_with_noise(self):
+        rng = np.random.default_rng(5)
+        a = np.repeat(np.arange(10), 50)
+        b = a.copy()
+        idx = rng.choice(a.size, 100, replace=False)
+        b[idx] = rng.integers(0, 10, 100)
+        assert 0.5 < f_measure(a, b) < 1.0
+
+
+class TestContingencyAndReport:
+    def test_contingency_shape_and_sum(self):
+        a = np.array([0, 0, 1, 2])
+        b = np.array([1, 1, 0, 0])
+        t = contingency_table(a, b)
+        assert t.shape == (3, 2)
+        assert t.sum() == 4
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.array([0, 1]), np.array([0]))
+
+    def test_compare_partitions_report(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        rep = compare_partitions(a, a)
+        d = rep.as_dict()
+        assert set(d) == {"NMI", "F-measure", "NVD", "RI", "ARI", "JI"}
+        assert d["NVD"] == pytest.approx(0.0)
+        for key in ("NMI", "F-measure", "RI", "ARI", "JI"):
+            assert d[key] == pytest.approx(1.0)
+
+    @given(LABELS, LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_all_metrics_bounded(self, la, lb):
+        n = min(len(la), len(lb))
+        a = np.array(la[:n])
+        b = np.array(lb[:n])
+        if n < 2:
+            return
+        rep = compare_partitions(a, b)
+        assert 0.0 <= rep.nmi <= 1.0
+        assert 0.0 <= rep.f_measure <= 1.0
+        assert 0.0 <= rep.nvd <= 1.0
+        assert 0.0 <= rep.rand_index <= 1.0
+        assert -0.5 <= rep.adjusted_rand_index <= 1.0
+        assert 0.0 <= rep.jaccard_index <= 1.0

@@ -1,0 +1,75 @@
+"""Tests for distributed connected components (hash-min)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_rmat
+from repro.graph import Graph, connected_components, path_graph, ring_of_cliques
+from repro.parallel.components import distributed_components
+from tests.conftest import random_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_ranks", [1, 3, 8])
+    def test_matches_bfs_reference(self, num_ranks):
+        g = random_graph(80, 0.03, seed=4)
+        ours = distributed_components(g, num_ranks=num_ranks)
+        ref = connected_components(g)
+        # same partition into components (labels may differ)
+        assert ours.num_components == np.unique(ref).size
+        for c in range(ours.num_components):
+            members = np.flatnonzero(ours.labels == c)
+            assert np.unique(ref[members]).size == 1
+
+    def test_single_component(self, two_cliques):
+        res = distributed_components(two_cliques, num_ranks=4)
+        assert res.num_components == 1
+
+    def test_isolated_vertices(self):
+        g = Graph.from_edges([0], [1], num_vertices=5)
+        res = distributed_components(g, num_ranks=3)
+        assert res.num_components == 4
+
+    def test_empty_graph(self):
+        res = distributed_components(Graph.from_edges([], []), num_ranks=2)
+        assert res.labels.size == 0
+        assert res.num_components == 0
+
+    def test_ring_of_cliques_single(self):
+        res = distributed_components(ring_of_cliques(5, 4), num_ranks=4)
+        assert res.num_components == 1
+
+    def test_labels_compact(self):
+        g = Graph.from_edges([0, 3], [1, 4], num_vertices=6)
+        res = distributed_components(g, num_ranks=2)
+        assert np.array_equal(
+            np.unique(res.labels), np.arange(res.num_components)
+        )
+
+
+class TestConvergence:
+    def test_supersteps_bounded_by_diameter(self):
+        g = path_graph(30)  # diameter 29, worst case for hash-min
+        res = distributed_components(g, num_ranks=4)
+        assert res.num_components == 1
+        assert res.supersteps <= 31
+
+    def test_last_superstep_quiescent(self, small_lfr):
+        res = distributed_components(small_lfr.graph, num_ranks=4)
+        assert res.changed_per_superstep[-1] == 0
+
+    def test_rmat_has_isolated_vertices(self):
+        # R-MAT famously leaves many degree-0 vertices.
+        g = generate_rmat(scale=10, edge_factor=4, seed=1)
+        res = distributed_components(g, num_ranks=4)
+        assert res.num_components > 1
+
+    def test_delivery_order_invariant(self, small_lfr):
+        a = distributed_components(small_lfr.graph, num_ranks=4)
+        b = distributed_components(small_lfr.graph, num_ranks=4, reorder_seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_traffic_accounted(self, small_lfr):
+        res = distributed_components(small_lfr.graph, num_ranks=4)
+        prof = res.simulation.profiler
+        assert prof.aggregate("CC/PROPAGATE").records_sent.sum() > 0

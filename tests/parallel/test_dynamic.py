@@ -1,0 +1,161 @@
+"""Tests for warm starts and incremental (dynamic-graph) community repair."""
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_lfr
+from repro.graph import Graph
+from repro.metrics import modularity, normalized_mutual_information
+from repro.parallel import (
+    EdgeBatch,
+    apply_edge_batch,
+    incremental_louvain,
+    parallel_louvain,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    lfr = generate_lfr(
+        num_vertices=800, avg_degree=12, max_degree=40, mixing=0.2,
+        min_community=15, max_community=100, seed=8,
+    )
+    result = parallel_louvain(lfr.graph, num_ranks=4)
+    return lfr, result
+
+
+class TestWarmStart:
+    def test_warm_start_converges_faster(self, base):
+        lfr, cold = base
+        warm = parallel_louvain(
+            lfr.graph, num_ranks=4, initial_membership=cold.membership
+        )
+        cold_iters = len(cold.levels[0].iterations)
+        warm_iters = len(warm.levels[0].iterations)
+        assert warm_iters < cold_iters / 2
+
+    def test_warm_start_preserves_quality(self, base):
+        lfr, cold = base
+        warm = parallel_louvain(
+            lfr.graph, num_ranks=4, initial_membership=cold.membership
+        )
+        assert warm.final_modularity >= cold.final_modularity - 0.02
+
+    def test_warm_start_q_consistent_with_metric(self, base):
+        lfr, cold = base
+        warm = parallel_louvain(
+            lfr.graph, num_ranks=4, initial_membership=lfr.ground_truth
+        )
+        assert modularity(lfr.graph, warm.membership) == pytest.approx(
+            warm.final_modularity, abs=1e-9
+        )
+
+    def test_arbitrary_labels_accepted(self, base):
+        lfr, _ = base
+        rng = np.random.default_rng(0)
+        noisy = rng.integers(1000, 2000, lfr.graph.num_vertices)
+        res = parallel_louvain(lfr.graph, num_ranks=4, initial_membership=noisy)
+        assert res.membership.size == lfr.graph.num_vertices
+
+    def test_bad_membership_rejected(self, base):
+        lfr, _ = base
+        with pytest.raises(ValueError):
+            parallel_louvain(
+                lfr.graph, num_ranks=4, initial_membership=np.zeros(3, dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            parallel_louvain(
+                lfr.graph, num_ranks=4,
+                initial_membership=np.full(lfr.graph.num_vertices, -1),
+            )
+
+
+class TestEdgeBatch:
+    def test_defaults_and_validation(self):
+        b = EdgeBatch(add_src=[0, 1], add_dst=[1, 2])
+        assert b.num_additions == 2
+        assert np.all(b.add_weight == 1.0)
+        with pytest.raises(ValueError):
+            EdgeBatch(add_src=[0], add_dst=[1, 2])
+        with pytest.raises(ValueError):
+            EdgeBatch(remove_src=[0], remove_dst=[])
+
+    def test_apply_additions(self):
+        g = Graph.from_edges([0], [1])
+        g2 = apply_edge_batch(g, EdgeBatch(add_src=[1], add_dst=[2]))
+        assert g2.num_vertices == 3
+        assert g2.has_edge(1, 2)
+        assert g.num_vertices == 2  # original untouched
+
+    def test_addition_accumulates_weight(self):
+        g = Graph.from_edges([0], [1], [2.0])
+        g2 = apply_edge_batch(g, EdgeBatch(add_src=[0], add_dst=[1], add_weight=[3.0]))
+        assert g2.edge_weight(0, 1) == 5.0
+
+    def test_apply_removals(self):
+        g = Graph.from_edges([0, 1], [1, 2])
+        g2 = apply_edge_batch(g, EdgeBatch(remove_src=[0], remove_dst=[1]))
+        assert not g2.has_edge(0, 1)
+        assert g2.has_edge(1, 2)
+        assert g2.num_vertices == 3
+
+    def test_remove_reversed_direction(self):
+        g = Graph.from_edges([0], [1])
+        g2 = apply_edge_batch(g, EdgeBatch(remove_src=[1], remove_dst=[0]))
+        assert g2.num_edges == 0
+
+    def test_remove_missing_edge_noop(self):
+        g = Graph.from_edges([0], [1])
+        g2 = apply_edge_batch(g, EdgeBatch(remove_src=[0], remove_dst=[0]))
+        assert g2.num_edges == 1
+
+    def test_remove_unknown_vertex_rejected(self):
+        g = Graph.from_edges([0], [1])
+        with pytest.raises(ValueError):
+            apply_edge_batch(g, EdgeBatch(remove_src=[5], remove_dst=[0]))
+
+
+class TestIncremental:
+    def test_small_perturbation_repaired_quickly(self, base):
+        lfr, cold = base
+        g = lfr.graph
+        rng = np.random.default_rng(3)
+        # Add 1% random edges and remove 1% existing ones.
+        k = g.num_edges // 100
+        add_src = rng.integers(0, g.num_vertices, k)
+        add_dst = rng.integers(0, g.num_vertices, k)
+        src, dst, _ = g.edge_arrays()
+        drop = rng.choice(src.size, k, replace=False)
+        batch = EdgeBatch(
+            add_src=add_src, add_dst=add_dst,
+            remove_src=src[drop], remove_dst=dst[drop],
+        )
+        new_graph, warm = incremental_louvain(
+            g, batch, cold.membership, num_ranks=4
+        )
+        fresh = parallel_louvain(new_graph, num_ranks=4)
+        # repaired solution is as good as recomputing from scratch...
+        assert warm.final_modularity >= fresh.final_modularity - 0.03
+        # ...with far fewer level-0 iterations.
+        assert (
+            len(warm.levels[0].iterations) < len(fresh.levels[0].iterations)
+        )
+        # and the communities barely move.
+        nmi = normalized_mutual_information(warm.membership, cold.membership)
+        assert nmi > 0.7
+
+    def test_new_vertices_get_fresh_communities(self, base):
+        lfr, cold = base
+        g = lfr.graph
+        n = g.num_vertices
+        batch = EdgeBatch(add_src=[0, n], add_dst=[n, n + 1])
+        new_graph, warm = incremental_louvain(g, batch, cold.membership, num_ranks=4)
+        assert new_graph.num_vertices == n + 2
+        assert warm.membership.size == n + 2
+
+    def test_membership_size_validated(self, base):
+        lfr, _ = base
+        with pytest.raises(ValueError):
+            incremental_louvain(
+                lfr.graph, EdgeBatch(), np.zeros(5, dtype=np.int64), num_ranks=2
+            )

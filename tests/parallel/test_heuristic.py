@@ -1,0 +1,142 @@
+"""Tests for the convergence heuristic (Eq. 7 + histogram thresholding)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    LinearDecaySchedule,
+    fit_schedule,
+    gain_histogram,
+    threshold_from_histogram,
+)
+from repro.parallel.heuristic import HISTOGRAM_EDGES
+
+
+class TestExponentialSchedule:
+    def test_eq7_formula(self):
+        s = ExponentialSchedule(p1=0.05, p2=0.3)
+        for it in (1, 2, 5, 10):
+            assert s.epsilon(it) == pytest.approx(
+                min(1.0, 0.05 * math.exp(1.0 / (0.3 * it)))
+            )
+
+    def test_monotone_decay(self):
+        s = ExponentialSchedule()
+        eps = [s.epsilon(i) for i in range(1, 20)]
+        assert all(a >= b for a, b in zip(eps, eps[1:]))
+
+    def test_clamped_to_one(self):
+        s = ExponentialSchedule(p1=0.9, p2=0.1)
+        assert s.epsilon(1) == 1.0
+
+    def test_limit_is_p1(self):
+        s = ExponentialSchedule(p1=0.03, p2=0.5)
+        assert s.epsilon(10_000) == pytest.approx(0.03, rel=1e-3)
+
+    def test_iteration_floor(self):
+        s = ExponentialSchedule()
+        assert s.epsilon(0) == s.epsilon(1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ExponentialSchedule(p1=0.0)
+        with pytest.raises(ValueError):
+            ExponentialSchedule(p2=-1.0)
+
+
+class TestAblationSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.5)
+        assert s.epsilon(1) == s.epsilon(100) == 0.5
+
+    def test_linear_decay(self):
+        s = LinearDecaySchedule(rate=0.3, floor=0.1)
+        assert s.epsilon(1) == 1.0
+        assert s.epsilon(2) == pytest.approx(0.7)
+        assert s.epsilon(50) == pytest.approx(0.1)
+
+
+class TestFitSchedule:
+    def test_recovers_known_parameters(self):
+        true = ExponentialSchedule(p1=0.04, p2=0.35)
+        traces = [[true.epsilon(i) for i in range(1, 12)] for _ in range(3)]
+        fitted = fit_schedule(traces)
+        assert fitted.p1 == pytest.approx(0.04, rel=0.15)
+        assert fitted.p2 == pytest.approx(0.35, rel=0.15)
+
+    def test_noisy_fit_still_decays(self):
+        rng = np.random.default_rng(0)
+        true = ExponentialSchedule(p1=0.02, p2=0.3)
+        traces = [
+            [true.epsilon(i) * rng.uniform(0.7, 1.3) for i in range(1, 10)]
+            for _ in range(10)
+        ]
+        fitted = fit_schedule(traces)
+        assert fitted.epsilon(1) > fitted.epsilon(8)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            fit_schedule([[0.5]])
+
+    def test_zero_fractions_floored(self):
+        fitted = fit_schedule([[0.9, 0.2, 0.0, 0.0]])
+        assert fitted.p1 > 0
+
+
+class TestGainHistogram:
+    def test_only_positive_counted(self):
+        h = gain_histogram(np.array([-1.0, 0.0, 1e-5, 1e-3]))
+        assert h.sum() == 2
+
+    def test_empty(self):
+        assert gain_histogram(np.array([])).sum() == 0
+
+    def test_binning_matches_edges(self):
+        g = np.array([1e-6])
+        h = gain_histogram(g)
+        b = int(np.flatnonzero(h)[0])
+        if b > 0:
+            assert HISTOGRAM_EDGES[b - 1] < 1e-6 <= HISTOGRAM_EDGES[b]
+
+
+class TestThresholdSelection:
+    def test_target_zero_blocks_everything(self):
+        h = gain_histogram(np.array([1e-3, 1e-4]))
+        assert threshold_from_histogram(h, 0) == float("inf")
+
+    def test_target_above_total_opens_fully(self):
+        h = gain_histogram(np.array([1e-3, 1e-4]))
+        assert threshold_from_histogram(h, 5) == 0.0
+
+    def test_selects_top_fraction(self):
+        gains = np.concatenate([np.full(100, 1e-2), np.full(900, 1e-6)])
+        h = gain_histogram(gains)
+        thr = threshold_from_histogram(h, 100)
+        assert (gains > thr).sum() == 100
+
+    def test_threshold_is_bin_edge(self):
+        gains = np.array([1e-2, 1e-4, 1e-6])
+        h = gain_histogram(gains)
+        thr = threshold_from_histogram(h, 1)
+        assert thr in HISTOGRAM_EDGES or thr == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=1e-10, max_value=0.9), min_size=1, max_size=200),
+        st.integers(1, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_admitted_count_at_least_target(self, gains, target):
+        """The histogram cutoff must never admit fewer than the target
+        (it may admit more -- bin granularity -- but starving movers would
+        stall convergence)."""
+        g = np.array(gains)
+        h = gain_histogram(g)
+        thr = threshold_from_histogram(h, target)
+        admitted = (g > thr).sum()
+        assert admitted >= min(target, g.size) or thr == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the dendrogram export."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import modularity
+from repro.parallel import Dendrogram, build_dendrogram, parallel_louvain
+from repro.sequential import louvain as sequential_louvain
+
+
+@pytest.fixture(scope="module")
+def graph_and_results():
+    from repro.generators import generate_lfr
+
+    lfr = generate_lfr(
+        num_vertices=600, avg_degree=12, max_degree=40, mixing=0.2,
+        min_community=12, max_community=80, seed=42,
+    )
+    return (
+        lfr.graph,
+        parallel_louvain(lfr.graph, num_ranks=4),
+        sequential_louvain(lfr.graph, seed=0),
+    )
+
+
+class TestBuild:
+    def test_depth_matches_levels(self, graph_and_results):
+        g, par, seq = graph_and_results
+        assert build_dendrogram(par).depth == par.num_levels
+        assert build_dendrogram(seq).depth == seq.num_levels
+
+    def test_final_matches_membership(self, graph_and_results):
+        _, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        assert np.array_equal(d.final.membership, par.membership)
+
+    def test_nesting_consistent_both_algorithms(self, graph_and_results):
+        _, par, seq = graph_and_results
+        assert build_dendrogram(par).nesting_is_consistent()
+        assert build_dendrogram(seq).nesting_is_consistent()
+
+    def test_modularity_recorded_per_level(self, graph_and_results):
+        g, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        for lv in d.levels:
+            assert modularity(g, lv.membership) == pytest.approx(
+                lv.modularity, abs=1e-9
+            )
+
+    def test_community_counts_decrease(self, graph_and_results):
+        _, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        counts = [lv.num_communities for lv in d.levels]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_empty_dendrogram_final_raises(self):
+        with pytest.raises(ValueError):
+            Dendrogram().final
+
+
+class TestQueries:
+    def test_members_and_community_of_agree(self, graph_and_results):
+        _, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        c = d.community_of(0)
+        members = d.members(c)
+        assert 0 in members
+        assert np.all(d.final.membership[members] == c)
+
+    def test_lineage_length(self, graph_and_results):
+        _, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        assert len(d.lineage(5)) == d.depth
+
+    def test_cut_negative_index(self, graph_and_results):
+        _, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        assert np.array_equal(d.cut(-1), d.final.membership)
+
+    def test_sizes_sum_to_n(self, graph_and_results):
+        g, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        for lv in d.levels:
+            assert lv.sizes().sum() == g.num_vertices
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, graph_and_results):
+        _, par, _ = graph_and_results
+        d = build_dendrogram(par)
+        restored = Dendrogram.from_json(d.to_json())
+        assert restored.depth == d.depth
+        for a, b in zip(restored.levels, d.levels):
+            assert np.array_equal(a.membership, b.membership)
+            assert a.modularity == pytest.approx(b.modularity)
+
+    def test_nesting_violation_detected(self):
+        from repro.parallel import HierarchyLevel
+
+        fine = HierarchyLevel(0, np.array([0, 0, 1]), 2, 0.1)
+        coarse = HierarchyLevel(1, np.array([0, 1, 1]), 2, 0.2)  # splits {0,1}!
+        d = Dendrogram(levels=[fine, coarse])
+        assert not d.nesting_is_consistent()

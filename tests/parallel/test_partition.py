@@ -1,0 +1,51 @@
+"""Tests for the 1D modulo partition."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ModuloPartition
+
+
+class TestModuloPartition:
+    def test_owner_matches_modulo(self):
+        p = ModuloPartition(100, 7)
+        v = np.arange(100)
+        assert np.array_equal(p.owner(v), v % 7)
+
+    def test_owned_round_trip(self):
+        p = ModuloPartition(53, 8)
+        seen = []
+        for r in range(8):
+            owned = p.owned(r)
+            assert np.array_equal(p.owner(owned), np.full(owned.size, r))
+            assert np.array_equal(p.to_global(p.to_local(owned), r), owned)
+            seen.append(owned)
+        allv = np.sort(np.concatenate(seen))
+        assert np.array_equal(allv, np.arange(53))
+
+    def test_local_count(self):
+        p = ModuloPartition(10, 4)
+        counts = [p.local_count(r) for r in range(4)]
+        assert counts == [3, 3, 2, 2]
+        assert sum(counts) == 10
+
+    def test_local_count_empty_rank(self):
+        p = ModuloPartition(2, 4)
+        assert p.local_count(3) == 0
+        assert p.owned(3).size == 0
+
+    def test_more_ranks_than_vertices(self):
+        p = ModuloPartition(3, 10)
+        total = sum(p.local_count(r) for r in range(10))
+        assert total == 3
+
+    def test_single_rank_owns_everything(self):
+        p = ModuloPartition(17, 1)
+        assert np.array_equal(p.owned(0), np.arange(17))
+        assert np.all(p.owner(np.arange(17)) == 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ModuloPartition(10, 0)
+        with pytest.raises(ValueError):
+            ModuloPartition(-1, 2)

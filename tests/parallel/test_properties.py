@@ -1,0 +1,114 @@
+"""Property-based tests of the parallel algorithms' core invariants.
+
+Hypothesis generates small random weighted graphs (including degenerate
+shapes: empty, disconnected, self-loops, multi-edges-as-weights) and checks
+the invariants that must hold for *any* input:
+
+* the distributed Σ_in / Σ_tot bookkeeping agrees exactly with the direct
+  modularity computation;
+* per-level modularity never decreases and hierarchy levels nest;
+* results are invariant to message delivery order within a superstep;
+* the Louvain partition is at least as modular as singletons.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.metrics import modularity
+from repro.parallel import label_propagation, parallel_louvain
+
+
+@st.composite
+def graphs(draw, max_vertices=20, max_edges=50):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    k = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    w = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return Graph.from_edges(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(w),
+        num_vertices=n,
+    )
+
+
+@given(graphs(), st.integers(1, 5))
+@settings(max_examples=50, deadline=None)
+def test_reported_modularity_is_exact(graph, num_ranks):
+    res = parallel_louvain(graph, num_ranks=num_ranks)
+    if res.modularities:
+        assert abs(modularity(graph, res.membership) - res.final_modularity) < 1e-9
+
+
+@given(graphs(), st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_levels_nest_and_q_nondecreasing(graph, num_ranks):
+    res = parallel_louvain(graph, num_ranks=num_ranks)
+    qs = res.modularities
+    assert all(a <= b + 1e-9 for a, b in zip(qs, qs[1:]))
+    for lvl in range(res.num_levels - 1):
+        fine = res.membership_at_level(lvl)
+        coarse = res.membership_at_level(lvl + 1)
+        order = np.argsort(fine)
+        f, c = fine[order], coarse[order]
+        same = f[1:] == f[:-1]
+        assert np.all(c[1:][same] == c[:-1][same])
+
+
+@given(graphs(), st.integers(1, 4), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_delivery_order_invariance(graph, num_ranks, reorder_seed):
+    base = parallel_louvain(graph, num_ranks=num_ranks)
+    shuffled = parallel_louvain(graph, num_ranks=num_ranks, reorder_seed=reorder_seed)
+    assert np.array_equal(base.membership, shuffled.membership)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_louvain_beats_singletons(graph):
+    res = parallel_louvain(graph, num_ranks=2)
+    singles = modularity(graph, np.arange(graph.num_vertices))
+    assert modularity(graph, res.membership) >= singles - 1e-9
+
+
+@given(graphs(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_membership_is_valid_labeling(graph, num_ranks):
+    res = parallel_louvain(graph, num_ranks=num_ranks)
+    m = res.membership
+    assert m.size == graph.num_vertices
+    if m.size:
+        assert m.min() >= 0
+
+
+@given(graphs(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_lpa_membership_compact_and_connected_within(graph, num_ranks):
+    res = label_propagation(graph, num_ranks=num_ranks, max_iterations=20)
+    m = res.membership
+    assert m.size == graph.num_vertices
+    if m.size:
+        # compact labels [0, k)
+        assert np.array_equal(np.unique(m), np.arange(m.max() + 1))
+
+
+@given(graphs(), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_warm_start_from_own_result_is_stable(graph, num_ranks):
+    """Restarting from a converged partition must not degrade it."""
+    first = parallel_louvain(graph, num_ranks=num_ranks)
+    second = parallel_louvain(
+        graph, num_ranks=num_ranks, initial_membership=first.membership
+    )
+    q1 = modularity(graph, first.membership)
+    q2 = modularity(graph, second.membership)
+    assert q2 >= q1 - 1e-9

@@ -1,0 +1,88 @@
+"""Tests for In_Table / Out_Table management."""
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_lfr
+from repro.parallel import ModuloPartition, RankTables, build_in_tables
+from tests.conftest import random_graph
+
+
+class TestRankTables:
+    def test_in_edges_roundtrip(self):
+        rt = RankTables()
+        rt.add_in_edges(
+            np.array([1, 2, 3]), np.array([0, 0, 4]), np.array([1.0, 2.0, 3.0])
+        )
+        v, u, w = rt.in_edges()
+        order = np.lexsort((u, v))
+        assert v[order].tolist() == [1, 2, 3]
+        assert u[order].tolist() == [0, 0, 4]
+        assert w[order].tolist() == [1.0, 2.0, 3.0]
+
+    def test_out_accumulates_per_community(self):
+        rt = RankTables()
+        # three edges from u=5 into community 9 collapse to one bucket
+        rt.accumulate_out(
+            np.array([5, 5, 5, 6]),
+            np.array([9, 9, 9, 9]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        u, c, w = rt.out_entries()
+        order = np.argsort(u)
+        assert u[order].tolist() == [5, 6]
+        assert c[order].tolist() == [9, 9]
+        assert w[order].tolist() == [6.0, 4.0]
+
+    def test_reset_out_preserves_in(self):
+        rt = RankTables()
+        rt.add_in_edges(np.array([1]), np.array([0]), np.array([1.0]))
+        rt.accumulate_out(np.array([0]), np.array([1]), np.array([1.0]))
+        rt.reset_out_table()
+        assert rt.out_entries()[0].size == 0
+        assert rt.in_edges()[0].size == 1
+
+    def test_reset_in(self):
+        rt = RankTables()
+        rt.add_in_edges(np.array([1]), np.array([0]), np.array([1.0]))
+        rt.reset_in_table()
+        assert rt.in_edges()[0].size == 0
+
+
+class TestBuildInTables:
+    @pytest.mark.parametrize("num_ranks", [1, 2, 5])
+    def test_all_entries_covered(self, num_ranks):
+        g = random_graph(40, 0.15, seed=0, weighted=True)
+        partition = ModuloPartition(g.num_vertices, num_ranks)
+        tables = build_in_tables(g, partition)
+        total_entries = sum(t.in_edges()[0].size for t in tables)
+        assert total_entries == g.num_adjacency_entries
+        total_weight = sum(t.in_edges()[2].sum() for t in tables)
+        assert total_weight == pytest.approx(g.strength.sum())
+
+    def test_ownership_respected(self):
+        g = random_graph(30, 0.2, seed=1)
+        partition = ModuloPartition(g.num_vertices, 3)
+        tables = build_in_tables(g, partition)
+        for rank, t in enumerate(tables):
+            _, u, _ = t.in_edges()
+            if u.size:
+                assert np.all(partition.owner(u) == rank)
+
+    def test_strengths_recoverable(self):
+        g = generate_lfr(num_vertices=200, avg_degree=8, max_degree=30, seed=2).graph
+        partition = ModuloPartition(g.num_vertices, 4)
+        tables = build_in_tables(g, partition)
+        strength = np.zeros(g.num_vertices)
+        for t in tables:
+            _, u, w = t.in_edges()
+            np.add.at(strength, u, w)
+        assert np.allclose(strength, g.strength)
+
+    def test_load_factor_respected(self):
+        g = random_graph(50, 0.3, seed=3)
+        partition = ModuloPartition(g.num_vertices, 2)
+        tables = build_in_tables(g, partition, load_factor=0.125)
+        for t in tables:
+            if len(t.in_table):
+                assert t.in_table.load_factor <= 0.125 + 1e-9

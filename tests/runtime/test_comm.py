@@ -1,0 +1,171 @@
+"""Tests for the simulated message bus."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import MessageBus, PhaseProfiler
+
+
+def make_bus(nranks, **kw):
+    prof = PhaseProfiler(nranks)
+    return MessageBus(nranks, prof, **kw), prof
+
+
+class TestExchange:
+    def test_records_routed_to_destination(self):
+        bus, _ = make_bus(3)
+        out = [
+            (np.array([1, 2, 1]), np.array([10, 20, 30]), np.array([0.1, 0.2, 0.3])),
+            (np.array([0]), np.array([40]), np.array([0.4])),
+            None,
+        ]
+        res = bus.exchange(out)
+        v0, w0 = res.inbox(0)
+        assert v0.tolist() == [40]
+        v1, w1 = res.inbox(1)
+        assert sorted(v1.tolist()) == [10, 30]
+        v2, _ = res.inbox(2)
+        assert v2.tolist() == [20]
+
+    def test_self_messages_allowed(self):
+        bus, _ = make_bus(2)
+        out = [(np.array([0]), np.array([7])), (np.array([1]), np.array([8]))]
+        res = bus.exchange(out)
+        assert res.inbox(0)[0].tolist() == [7]
+        assert res.inbox(1)[0].tolist() == [8]
+
+    def test_empty_exchange(self):
+        bus, _ = make_bus(2)
+        res = bus.exchange([None, None])
+        assert res.inbox(0)[0].size == 0
+
+    def test_column_dtype_preserved(self):
+        bus, _ = make_bus(2)
+        out = [
+            (np.array([1]), np.array([1], dtype=np.int64), np.array([0.5])),
+            None,
+        ]
+        res = bus.exchange(out)
+        a, b = res.inbox(1)
+        assert a.dtype == np.int64
+        assert b.dtype == np.float64
+
+    def test_source_order_stable_without_reorder(self):
+        bus, _ = make_bus(2)
+        out = [
+            (np.array([1, 1]), np.array([1, 2])),
+            (np.array([1, 1]), np.array([3, 4])),
+        ]
+        res = bus.exchange(out)
+        assert res.inbox(1)[0].tolist() == [1, 2, 3, 4]
+
+    def test_reorder_mode_permutes(self):
+        bus = MessageBus(2, None, reorder_rng=np.random.default_rng(0))
+        out = [
+            (np.arange(50) % 2, np.arange(50)),
+            None,
+        ]
+        res = bus.exchange(out)
+        got = res.inbox(0)[0]
+        assert sorted(got.tolist()) == list(range(0, 50, 2))
+        assert got.tolist() != list(range(0, 50, 2))  # actually shuffled
+
+    def test_wrong_outbox_count_raises(self):
+        bus, _ = make_bus(2)
+        with pytest.raises(ValueError):
+            bus.exchange([None])
+
+    def test_destination_out_of_range_raises(self):
+        bus, _ = make_bus(2)
+        with pytest.raises(ValueError):
+            bus.exchange([(np.array([5]), np.array([1])), None])
+
+    def test_column_length_mismatch_raises(self):
+        bus, _ = make_bus(2)
+        with pytest.raises(ValueError):
+            bus.exchange([(np.array([0, 1]), np.array([1])), None])
+
+    def test_arity_mismatch_raises(self):
+        bus, _ = make_bus(2)
+        with pytest.raises(ValueError):
+            bus.exchange(
+                [
+                    (np.array([0]), np.array([1])),
+                    (np.array([0]), np.array([1]), np.array([2])),
+                ]
+            )
+
+
+class TestAccounting:
+    def test_record_and_byte_counters(self):
+        bus, prof = make_bus(2)
+        with prof.phase("X"):
+            bus.exchange(
+                [
+                    (np.array([1, 1, 1]), np.array([1, 2, 3]), np.ones(3)),
+                    None,
+                ]
+            )
+        c = prof.phases["X"]
+        assert c.records_sent[0] == 3
+        assert c.records_sent[1] == 0
+        assert c.bytes_sent[0] == 3 * 2 * 8
+        assert c.messages_sent[0] == 1  # one destination touched
+        assert c.supersteps == 1
+
+    def test_messages_count_distinct_destinations(self):
+        bus, prof = make_bus(4)
+        with prof.phase("X"):
+            bus.exchange(
+                [
+                    (np.array([1, 2, 3, 1]), np.arange(4)),
+                    None,
+                    None,
+                    None,
+                ]
+            )
+        assert prof.phases["X"].messages_sent[0] == 3
+
+
+class TestCollectives:
+    def test_allreduce_sum_scalars(self):
+        bus, prof = make_bus(3)
+        with prof.phase("C"):
+            total = bus.allreduce_sum([1.0, 2.0, 3.0])
+        assert total == 6.0
+        assert prof.phases["C"].collectives == 1
+
+    def test_allreduce_sum_arrays(self):
+        bus, _ = make_bus(2)
+        total = bus.allreduce_sum([np.array([1, 2]), np.array([3, 4])])
+        assert total.tolist() == [4, 6]
+
+    def test_allreduce_max(self):
+        bus, _ = make_bus(3)
+        assert bus.allreduce_max([1, 7, 3]) == 7
+
+    def test_allgather(self):
+        bus, _ = make_bus(2)
+        assert bus.allgather(["a", "b"]) == ["a", "b"]
+
+    def test_wrong_count_raises(self):
+        bus, _ = make_bus(2)
+        with pytest.raises(ValueError):
+            bus.allreduce_sum([1.0])
+
+    def test_barrier_counts(self):
+        bus, prof = make_bus(2)
+        with prof.phase("B"):
+            bus.barrier()
+        assert prof.phases["B"].collectives == 1
+
+
+def test_single_rank_bus():
+    bus, _ = make_bus(1)
+    res = bus.exchange([(np.array([0, 0]), np.array([1, 2]))])
+    assert res.inbox(0)[0].tolist() == [1, 2]
+
+
+def test_zero_ranks_rejected():
+    with pytest.raises(ValueError):
+        MessageBus(0)

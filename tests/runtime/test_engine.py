@@ -1,0 +1,70 @@
+"""Tests for the Simulation wiring and work-scale extrapolation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import P7IH, Simulation, model_phase_time
+from repro.runtime.profiler import PhaseCounters
+
+
+class TestSimulation:
+    def test_create_wires_bus_and_profiler(self):
+        sim = Simulation.create(4)
+        assert sim.num_ranks == 4
+        assert sim.bus.num_ranks == 4
+        assert sim.bus.profiler is sim.profiler
+
+    def test_phase_shorthand(self):
+        sim = Simulation.create(2)
+        with sim.phase("X"):
+            sim.profiler.add_ops(0, 1)
+        assert "X" in sim.profiler.phases
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation.create(0)
+
+    def test_reorder_seed_enables_injection(self):
+        sim = Simulation.create(2, reorder_seed=1)
+        assert sim.bus.reorder_rng is not None
+        sim2 = Simulation.create(2)
+        assert sim2.bus.reorder_rng is None
+
+    def test_traffic_flows_through_profiler(self):
+        sim = Simulation.create(2)
+        with sim.phase("T"):
+            sim.bus.exchange([(np.array([1]), np.array([5])), None])
+        assert sim.profiler.phases["T"].records_sent[0] == 1
+
+
+class TestWorkScale:
+    def make(self):
+        c = PhaseCounters(num_ranks=2)
+        c.comp_ops[:] = 1000.0
+        c.records_sent[:] = 100.0
+        c.bytes_sent[:] = 1600.0
+        c.messages_sent[:] = 4.0
+        c.supersteps = 3
+        return c
+
+    def test_scales_per_edge_quantities(self):
+        c = self.make()
+        t1 = model_phase_time(c, P7IH, threads=1, nodes=2, work_scale=1.0)
+        t10 = model_phase_time(c, P7IH, threads=1, nodes=2, work_scale=10.0)
+        assert t10 > t1
+
+    def test_does_not_scale_latency_or_sync(self):
+        """With only messages and supersteps, scale must change nothing."""
+        c = PhaseCounters(num_ranks=2)
+        c.messages_sent[:] = 10.0
+        c.supersteps = 5
+        t1 = model_phase_time(c, P7IH, threads=1, nodes=2, work_scale=1.0)
+        t100 = model_phase_time(c, P7IH, threads=1, nodes=2, work_scale=100.0)
+        assert t1 == pytest.approx(t100)
+
+    def test_pure_compute_scales_linearly(self):
+        c = PhaseCounters(num_ranks=2)
+        c.comp_ops[:] = 1e6
+        t1 = model_phase_time(c, P7IH, threads=1, nodes=2, work_scale=1.0)
+        t7 = model_phase_time(c, P7IH, threads=1, nodes=2, work_scale=7.0)
+        assert t7 == pytest.approx(7 * t1, rel=1e-9)

@@ -1,0 +1,88 @@
+"""Tests for the phase profiler."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import PhaseProfiler
+
+
+class TestPhases:
+    def test_default_phase_unattributed(self):
+        p = PhaseProfiler(2)
+        p.add_ops(0, 5)
+        assert p.phases["UNATTRIBUTED"].comp_ops[0] == 5
+
+    def test_phase_context(self):
+        p = PhaseProfiler(2)
+        with p.phase("A"):
+            p.add_ops(1, 3)
+        assert p.phases["A"].comp_ops[1] == 3
+
+    def test_nested_phases_join_with_slash(self):
+        p = PhaseProfiler(1)
+        with p.phase("REFINE"):
+            with p.phase("FIND_BEST"):
+                p.add_ops(0, 2)
+        assert "REFINE/FIND_BEST" in p.phases
+
+    def test_phase_restored_after_exception(self):
+        p = PhaseProfiler(1)
+        with pytest.raises(RuntimeError):
+            with p.phase("X"):
+                raise RuntimeError("boom")
+        assert p.current_phase == "UNATTRIBUTED"
+
+    def test_add_ops_all(self):
+        p = PhaseProfiler(3)
+        with p.phase("A"):
+            p.add_ops_all(np.array([1.0, 2.0, 3.0]))
+        assert p.phases["A"].comp_ops.tolist() == [1.0, 2.0, 3.0]
+
+
+class TestAggregation:
+    def make(self):
+        p = PhaseProfiler(2)
+        with p.phase("REFINE"):
+            with p.phase("FIND_BEST"):
+                p.add_ops(0, 10)
+            with p.phase("UPDATE"):
+                p.add_ops(0, 5)
+                p.add_send(1, records=4, nbytes=64, messages=2)
+        with p.phase("RECON"):
+            p.add_ops(1, 7)
+        return p
+
+    def test_aggregate_prefix(self):
+        p = self.make()
+        agg = p.aggregate("REFINE")
+        assert agg.comp_ops[0] == 15
+        assert agg.records_sent[1] == 4
+
+    def test_aggregate_exact_name_only(self):
+        p = self.make()
+        assert p.aggregate("RECON").comp_ops[1] == 7
+        assert p.aggregate("RECO").comp_ops.sum() == 0  # no partial-prefix match
+
+    def test_top_level_names(self):
+        p = self.make()
+        assert p.top_level_phases() == ["RECON", "REFINE"]
+
+    def test_total(self):
+        p = self.make()
+        t = p.total()
+        assert t.comp_ops.sum() == 22
+        assert t.records_sent.sum() == 4
+
+    def test_summary_keys(self):
+        p = self.make()
+        s = p.summary()
+        assert "REFINE/FIND_BEST" in s
+        assert s["REFINE/UPDATE"]["records"] == 4.0
+
+    def test_superstep_and_collective_counters(self):
+        p = PhaseProfiler(1)
+        with p.phase("A"):
+            p.add_superstep()
+            p.add_collective()
+        assert p.phases["A"].supersteps == 1
+        assert p.phases["A"].collectives == 1

@@ -1,0 +1,152 @@
+"""Tests for the sequential Louvain baseline (Algorithm 1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators import generate_lfr
+from repro.graph import Graph
+from repro.metrics import modularity, normalized_mutual_information
+from repro.sequential import aggregate_graph, louvain, louvain_one_level
+from tests.conftest import random_graph
+
+
+class TestOneLevel:
+    def test_two_cliques_found(self, two_cliques):
+        labels, moved = louvain_one_level(two_cliques, rng=np.random.default_rng(0))
+        assert np.unique(labels).size == 2
+        assert np.unique(labels[:6]).size == 1
+        assert np.unique(labels[6:]).size == 1
+        assert moved[0] > 0.5  # most vertices move in the first sweep
+
+    def test_labels_compact(self, two_cliques):
+        labels, _ = louvain_one_level(two_cliques, rng=np.random.default_rng(1))
+        assert labels.min() == 0
+        assert np.array_equal(np.unique(labels), np.arange(labels.max() + 1))
+
+    def test_moved_fraction_decays(self, small_lfr):
+        _, moved = louvain_one_level(small_lfr.graph, rng=np.random.default_rng(0))
+        assert len(moved) >= 3
+        assert moved[0] > moved[-1]
+        assert moved[-1] == 0.0  # terminates by quiescence
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], [])
+        labels, moved = louvain_one_level(g)
+        assert labels.size == 0 and moved == []
+
+    def test_no_edges(self):
+        g = Graph.from_edges([], [], num_vertices=5)
+        labels, _ = louvain_one_level(g)
+        assert np.array_equal(labels, np.arange(5))
+
+
+class TestAggregate:
+    def test_modularity_preserved(self, small_lfr):
+        g = small_lfr.graph
+        labels, _ = louvain_one_level(g, rng=np.random.default_rng(0))
+        q_before = modularity(g, labels)
+        agg = aggregate_graph(g, labels)
+        q_after = modularity(agg, np.arange(agg.num_vertices))
+        assert q_after == pytest.approx(q_before, abs=1e-12)
+
+    def test_total_weight_preserved(self, small_lfr):
+        g = small_lfr.graph
+        labels, _ = louvain_one_level(g, rng=np.random.default_rng(0))
+        agg = aggregate_graph(g, labels)
+        assert agg.total_weight == pytest.approx(g.total_weight)
+
+    def test_identity_aggregation(self, two_cliques):
+        labels = np.arange(two_cliques.num_vertices)
+        agg = aggregate_graph(two_cliques, labels)
+        assert agg.num_vertices == two_cliques.num_vertices
+        assert agg.total_weight == pytest.approx(two_cliques.total_weight)
+
+
+class TestFullLouvain:
+    def test_karate_club(self):
+        g = Graph.from_networkx(nx.karate_club_graph())
+        res = louvain(g, seed=0)
+        # Published Louvain modularity on karate is ~0.41-0.42.
+        assert res.final_modularity > 0.40
+        assert 2 <= np.unique(res.membership).size <= 6
+
+    def test_modularity_monotone_across_levels(self, small_lfr):
+        res = louvain(small_lfr.graph, seed=0)
+        assert all(a <= b + 1e-12 for a, b in zip(res.modularities, res.modularities[1:]))
+
+    def test_membership_consistent_with_level_composition(self, small_lfr):
+        res = louvain(small_lfr.graph, seed=0)
+        composed = res.membership_at_level(res.num_levels - 1)
+        assert np.array_equal(composed, res.membership)
+
+    def test_membership_modularity_matches_reported(self, small_lfr):
+        res = louvain(small_lfr.graph, seed=0)
+        assert modularity(small_lfr.graph, res.membership) == pytest.approx(
+            res.final_modularity, abs=1e-9
+        )
+
+    def test_recovers_planted_partition(self, small_lfr):
+        res = louvain(small_lfr.graph, seed=0)
+        nmi = normalized_mutual_information(res.membership, small_lfr.ground_truth)
+        assert nmi > 0.8
+
+    def test_deterministic_with_seed(self, small_lfr):
+        a = louvain(small_lfr.graph, seed=3)
+        b = louvain(small_lfr.graph, seed=3)
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_no_shuffle_deterministic(self, small_lfr):
+        a = louvain(small_lfr.graph, seed=None, shuffle=False)
+        b = louvain(small_lfr.graph, seed=None, shuffle=False)
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_level_traces_recorded(self, small_lfr):
+        res = louvain(small_lfr.graph, seed=0)
+        assert len(res.traces) == res.num_levels
+        t0 = res.traces[0]
+        assert t0.num_vertices == small_lfr.graph.num_vertices
+        assert t0.inner_iterations == len(t0.moved_fraction)
+
+    def test_max_levels_respected(self, small_lfr):
+        res = louvain(small_lfr.graph, seed=0, max_levels=1)
+        assert res.num_levels == 1
+
+    def test_level_index_out_of_range(self, small_lfr):
+        res = louvain(small_lfr.graph, seed=0)
+        with pytest.raises(IndexError):
+            res.membership_at_level(res.num_levels)
+
+    def test_empty_graph(self):
+        res = louvain(Graph.from_edges([], []))
+        assert res.membership.size == 0
+        assert res.final_modularity == 0.0
+
+    def test_disconnected_components_stay_separate(self):
+        g = Graph.from_edges([0, 1, 3, 4], [1, 2, 4, 5], num_vertices=6)
+        res = louvain(g, seed=0)
+        m = res.membership
+        assert m[0] == m[1] == m[2]
+        assert m[3] == m[4] == m[5]
+        assert m[0] != m[3]
+
+    def test_weighted_graph_respects_weights(self):
+        # strong weighted pairs beat unit-weight cross edges
+        src = [0, 2, 0, 1, 0, 1]
+        dst = [1, 3, 2, 3, 3, 2]
+        w = [10.0, 10.0, 0.1, 0.1, 0.1, 0.1]
+        g = Graph.from_edges(src, dst, w)
+        res = louvain(g, seed=0)
+        m = res.membership
+        assert m[0] == m[1]
+        assert m[2] == m[3]
+        assert m[0] != m[2]
+
+    def test_quality_against_networkx_louvain(self):
+        g = random_graph(150, 0.06, seed=12)
+        ours = louvain(g, seed=0).final_modularity
+        theirs_comms = nx.algorithms.community.louvain_communities(
+            g.to_networkx(), seed=0
+        )
+        theirs = nx.algorithms.community.modularity(g.to_networkx(), theirs_comms)
+        assert ours >= theirs - 0.05

@@ -1,0 +1,62 @@
+"""Property-based tests of the sequential algorithm's migration traces.
+
+Fig. 2's regression rests on these traces being well-formed; the properties
+here must hold for any graph, not just the LFR sweep.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.metrics import modularity
+from repro.sequential import louvain
+
+
+@st.composite
+def graphs(draw, max_vertices=25, max_edges=60):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    k = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    return Graph.from_edges(
+        np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64),
+        num_vertices=n,
+    )
+
+
+@given(graphs(), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_traces_are_valid_fractions(graph, seed):
+    res = louvain(graph, seed=seed)
+    for trace in res.traces:
+        for frac in trace.moved_fraction:
+            assert 0.0 <= frac <= 1.0
+        # the inner loop ends by quiescence or by the iteration cap
+        # (edgeless graphs record an empty trace: no sweeps happen)
+        if 0 < trace.inner_iterations < 100:
+            assert trace.moved_fraction[-1] == 0.0
+
+
+@given(graphs(), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_reported_modularity_matches_membership(graph, seed):
+    res = louvain(graph, seed=seed)
+    if res.modularities:
+        assert abs(modularity(graph, res.membership) - res.final_modularity) < 1e-9
+
+
+@given(graphs(), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_result_at_least_as_good_as_singletons(graph, seed):
+    res = louvain(graph, seed=seed)
+    singles = modularity(graph, np.arange(graph.num_vertices))
+    assert modularity(graph, res.membership) >= singles - 1e-9
+
+
+@given(graphs(), st.integers(0, 50))
+@settings(max_examples=40, deadline=None)
+def test_levels_shrink(graph, seed):
+    res = louvain(graph, seed=seed)
+    sizes = [t.num_vertices for t in res.traces]
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))

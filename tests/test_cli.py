@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "g.txt"
+    rc = main([
+        "generate", "lfr", "--vertices", "300", "--avg-degree", "10",
+        "--max-degree", "30", "--mixing", "0.15",
+        "--output", str(path), "--seed", "5",
+    ])
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect", "x.txt"])
+        assert args.algorithm == "parallel"
+        assert args.ranks == 4
+
+
+class TestGenerate:
+    def test_lfr_with_ground_truth(self, tmp_path):
+        out = tmp_path / "lfr.txt"
+        gt = tmp_path / "gt.txt"
+        rc = main([
+            "generate", "lfr", "--vertices", "200", "--output", str(out),
+            "--ground-truth", str(gt),
+        ])
+        assert rc == 0
+        assert out.exists() and gt.exists()
+        n_gt = sum(1 for line in gt.open() if not line.startswith("#"))
+        assert n_gt == 200
+
+    def test_rmat(self, tmp_path):
+        out = tmp_path / "rmat.txt"
+        rc = main(["generate", "rmat", "--scale", "8", "--output", str(out)])
+        assert rc == 0
+        lines = [l for l in out.open() if not l.startswith("#")]
+        assert len(lines) > 100
+
+    def test_bter(self, tmp_path):
+        out = tmp_path / "bter.txt"
+        rc = main([
+            "generate", "bter", "--vertices", "300", "--rho", "0.5",
+            "--output", str(out),
+        ])
+        assert rc == 0
+
+    def test_ground_truth_rejected_for_rmat(self, tmp_path):
+        rc = main([
+            "generate", "rmat", "--scale", "7",
+            "--output", str(tmp_path / "x.txt"),
+            "--ground-truth", str(tmp_path / "gt.txt"),
+        ])
+        assert rc == 2
+
+
+class TestDetect:
+    def test_parallel_with_outputs(self, edge_file, tmp_path, capsys):
+        comm = tmp_path / "comm.txt"
+        dend = tmp_path / "dend.json"
+        rc = main([
+            "detect", str(edge_file), "--ranks", "4", "--machine", "p7ih",
+            "--output", str(comm), "--dendrogram", str(dend),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel: Q=" in out
+        assert "modeled P7-IH time" in out
+        data = json.loads(dend.read_text())
+        assert data["depth"] >= 1
+        lines = [l for l in comm.open() if not l.startswith("#")]
+        assert len(lines) == 300
+
+    def test_sequential(self, edge_file, capsys):
+        rc = main(["detect", str(edge_file), "--algorithm", "sequential"])
+        assert rc == 0
+        assert "sequential: Q=" in capsys.readouterr().out
+
+    def test_lpa(self, edge_file, capsys):
+        rc = main(["detect", str(edge_file), "--algorithm", "lpa"])
+        assert rc == 0
+        assert "label propagation: Q=" in capsys.readouterr().out
+
+    def test_lpa_dendrogram_rejected(self, edge_file, tmp_path):
+        rc = main([
+            "detect", str(edge_file), "--algorithm", "lpa",
+            "--dendrogram", str(tmp_path / "d.json"),
+        ])
+        assert rc == 2
+
+
+class TestInfo:
+    def test_info(self, edge_file, capsys):
+        rc = main(["info", str(edge_file), "--clustering"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vertices          : 300" in out
+        assert "global clustering" in out
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("exp", ["table1", "fig5", "table4"])
+    def test_small_experiments_run(self, exp, capsys):
+        rc = main(["experiment", exp, "--scale", "0.15"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig2(self, capsys):
+        rc = main(["experiment", "fig2", "--scale", "0.4"])
+        assert rc == 0
+        assert "fitted p1=" in capsys.readouterr().out
