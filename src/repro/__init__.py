@@ -16,9 +16,20 @@ Public API highlights
 * :mod:`repro.harness` -- one experiment runner per paper table/figure.
 """
 
-from . import generators, graph, harness, hashing, metrics, parallel, runtime, sequential
+from . import (
+    generators,
+    graph,
+    harness,
+    hashing,
+    metrics,
+    observability,
+    parallel,
+    runtime,
+    sequential,
+)
 from .graph import Graph
 from .metrics import modularity
+from .observability import TraceEvent, Tracer
 from .parallel import (
     DetectionSummary,
     ExponentialSchedule,
@@ -45,10 +56,13 @@ __all__ = [
     "MachineModel",
     "P7IH",
     "BGQ",
+    "Tracer",
+    "TraceEvent",
     "graph",
     "hashing",
     "generators",
     "metrics",
+    "observability",
     "sequential",
     "runtime",
     "parallel",

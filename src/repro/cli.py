@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the library's main workflows:
+Five subcommands cover the library's main workflows:
 
-* ``detect``      -- community detection on an edge-list file;
+* ``detect``      -- community detection on an edge-list file (optionally
+  recording a structured trace with ``--trace`` / ``--trace-format``);
 * ``generate``    -- write an LFR / R-MAT / BTER / proxy graph to disk;
 * ``info``        -- structural statistics of an edge-list file;
-* ``experiment``  -- regenerate one of the paper's tables/figures by id.
+* ``experiment``  -- regenerate one of the paper's tables/figures by id;
+* ``report``      -- render a recorded JSONL trace as convergence and
+  phase-breakdown tables (the data behind Figs. 2, 4 and 8).
 """
 
 from __future__ import annotations
@@ -44,6 +47,16 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--seed", type=int, default=0)
     detect.add_argument("--output", help="write 'vertex community' lines here")
     detect.add_argument("--dendrogram", help="write the hierarchy as JSON here")
+    detect.add_argument(
+        "--trace", metavar="PATH",
+        help="record a structured run trace and write it here",
+    )
+    detect.add_argument(
+        "--trace-format", choices=["jsonl", "chrome", "prom"], default="jsonl",
+        help="trace output format: JSONL event log (repro report input), "
+        "Chrome trace_event JSON (chrome://tracing / Perfetto), or a "
+        "Prometheus text snapshot",
+    )
 
     gen = sub.add_parser("generate", help="generate a synthetic graph")
     gen.add_argument(
@@ -81,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.5,
         help="proxy size multiplier (1.0 = full laptop scale)",
     )
+
+    rep = sub.add_parser(
+        "report", help="render a recorded JSONL trace as run-dynamics tables"
+    )
+    rep.add_argument("trace", help="JSONL trace recorded with detect --trace")
+    rep.add_argument(
+        "--section", choices=["all", "convergence", "phases", "tables"],
+        default="all", help="which table(s) to print",
+    )
     return parser
 
 
@@ -92,12 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_detect(args) -> int:
     from .graph import read_edge_list
     from .metrics import modularity
+    from .observability import Tracer, export_trace
     from .parallel import build_dendrogram, detect_communities, label_propagation
     from .runtime import BGQ, P7IH
+
+    if args.trace and args.algorithm == "lpa":
+        print("--trace is not supported for lpa", file=sys.stderr)
+        return 2
 
     graph = read_edge_list(args.input)
     print(f"loaded {graph.num_vertices} vertices / {graph.num_edges} edges")
     machine = {"p7ih": P7IH, "bgq": BGQ, None: None}[args.machine]
+    tracer = Tracer() if args.trace else None
     t0 = time.perf_counter()
     if args.algorithm == "lpa":
         res = label_propagation(graph, num_ranks=args.ranks, seed=args.seed)
@@ -111,7 +139,7 @@ def _cmd_detect(args) -> int:
     else:
         summary = detect_communities(
             graph, algorithm=args.algorithm, num_ranks=args.ranks,
-            machine=machine, seed=args.seed,
+            machine=machine, seed=args.seed, tracer=tracer,
         )
         membership = summary.membership
         print(
@@ -122,6 +150,13 @@ def _cmd_detect(args) -> int:
             print(f"modeled {machine.name} time: {summary.modeled_total_seconds:.4f}s")
         raw = summary.raw
     print(f"wall clock: {time.perf_counter() - t0:.2f}s")
+
+    if tracer is not None:
+        export_trace(tracer.events, args.trace, args.trace_format)
+        print(
+            f"wrote {args.trace} ({len(tracer.events)} events, "
+            f"{args.trace_format})"
+        )
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -285,6 +320,38 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .observability import (
+        format_convergence_table,
+        format_phase_table,
+        format_report,
+        format_table_stats,
+        read_jsonl,
+        run_header,
+    )
+
+    try:
+        events = read_jsonl(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"trace {args.trace} holds no events", file=sys.stderr)
+        return 2
+    if args.section == "all":
+        print(format_report(events))
+    elif args.section == "convergence":
+        print(run_header(events))
+        print(format_convergence_table(events))
+    elif args.section == "phases":
+        print(run_header(events))
+        print(format_phase_table(events))
+    else:
+        print(run_header(events))
+        print(format_table_stats(events) or "no table_stats events in trace")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -292,8 +359,16 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "experiment": _cmd_experiment,
+        "report": _cmd_report,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `repro report t.jsonl | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

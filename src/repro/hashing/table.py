@@ -119,6 +119,41 @@ class EdgeHashTable:
         keys, _ = self.items()
         return self._hash(keys, self.capacity)
 
+    def probe_lengths(self) -> np.ndarray:
+        """Circular displacement of every stored key from its home slot.
+
+        A key placed in its home bin has probe length 0; each linear-probing
+        step adds 1.  This is the *resting* probe distance (lookup cost), a
+        complement to ``probe_count`` which accumulates the work actually
+        spent during inserts/lookups.
+        """
+        slots = np.flatnonzero(self.occupied_mask())
+        if slots.size == 0:
+            return np.empty(0, dtype=np.int64)
+        home = self._hash(self._keys[slots], self.capacity).astype(np.int64)
+        return (slots - home) % np.int64(self.capacity)
+
+    def stats(self) -> dict[str, float | int | str]:
+        """Snapshot of occupancy and probing behavior (for tracing).
+
+        ``probes_per_insert`` is cumulative work per stored record;
+        ``avg/max_probe_length`` describe the current layout.
+        """
+        lengths = self.probe_lengths()
+        return {
+            "entries": self._count,
+            "capacity": self.capacity,
+            "load_factor": float(self.load_factor),
+            "hash": self._hash_name,
+            "probe_count": int(self.probe_count),
+            "insert_count": int(self.insert_count),
+            "probes_per_insert": (
+                self.probe_count / self.insert_count if self.insert_count else 0.0
+            ),
+            "avg_probe_length": float(lengths.mean()) if lengths.size else 0.0,
+            "max_probe_length": int(lengths.max()) if lengths.size else 0,
+        }
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #

@@ -1,0 +1,57 @@
+"""Structured run tracing and metrics (spans, typed events, exporters).
+
+The subsystem has four pieces:
+
+* :class:`Tracer` / :data:`NULL_TRACER` -- in-memory span + counter + typed
+  event capture with a no-op disabled path;
+* :mod:`repro.observability.events` -- the typed event vocabulary;
+* :mod:`repro.observability.exporters` -- JSONL, Chrome ``trace_event`` and
+  Prometheus text output;
+* :mod:`repro.observability.report` -- per-iteration convergence and
+  per-phase breakdown tables from a recorded trace (``repro report``).
+
+Algorithms accept ``tracer=`` and emit through it; the runtime's
+:class:`~repro.runtime.profiler.PhaseProfiler` bridges its phase stack onto
+tracer spans, so traces carry the same hierarchy Fig. 8 aggregates.
+"""
+
+from .events import EventKind, TraceEvent
+from .exporters import (
+    TRACE_FORMATS,
+    chrome_trace,
+    export_trace,
+    prometheus_snapshot,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .report import (
+    format_convergence_table,
+    format_phase_table,
+    format_report,
+    format_table_stats,
+    run_header,
+)
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "EventKind",
+    "TRACE_FORMATS",
+    "export_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_snapshot",
+    "write_prometheus",
+    "format_report",
+    "format_convergence_table",
+    "format_phase_table",
+    "format_table_stats",
+    "run_header",
+]

@@ -1,0 +1,264 @@
+"""Trace exporters: JSONL event log, Chrome ``trace_event`` JSON, Prometheus.
+
+All three consume the same :class:`~repro.observability.events.TraceEvent`
+stream:
+
+* **JSONL** is the lossless interchange format (one event per line) and the
+  input of ``repro report``; :func:`read_jsonl` round-trips it.
+* **Chrome trace** projects spans onto the ``trace_event`` array format
+  understood by ``chrome://tracing`` and Perfetto.  Driver-global phase spans
+  land on tid 0; when a ``span_end`` carries per-rank ``comp_ops`` deltas the
+  span is mirrored onto each simulated rank's track (tid = rank + 1) with that
+  rank's work in ``args``, so load imbalance is visible per lane.  Iteration
+  events become instants, modularity a counter track.
+* **Prometheus** renders an end-of-run text snapshot (``# HELP`` / ``# TYPE``
+  + samples) suitable for a textfile-collector scrape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .events import EventKind, TraceEvent
+
+__all__ = [
+    "TRACE_FORMATS",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_snapshot",
+    "write_prometheus",
+    "export_trace",
+]
+
+TRACE_FORMATS = ("jsonl", "chrome", "prom")
+
+
+# --------------------------------------------------------------------- #
+# JSONL
+# --------------------------------------------------------------------- #
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> None:
+    """One JSON object per line, in stream order."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+
+
+def read_jsonl(path: str) -> list[TraceEvent]:
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace_event
+# --------------------------------------------------------------------- #
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def chrome_trace(events: Sequence[TraceEvent]) -> dict:
+    """Project the event stream onto the Chrome ``trace_event`` JSON object.
+
+    Spans are emitted as matched B/E (duration) pairs so nesting survives;
+    per-rank mirrors use complete ("X") events.  The result validates against
+    the trace_event format: every entry carries ``name``/``ph``/``ts``/``pid``
+    /``tid`` and "X" entries carry ``dur``.
+    """
+    out: list[dict] = []
+    pid = 0
+
+    def meta(tid: int, label: str) -> dict:
+        return {
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "ts": 0, "args": {"name": label},
+        }
+
+    out.append(meta(0, "driver"))
+    ranks_seen: set[int] = set()
+    # Track open spans to pair B/E and to know per-rank mirrors' start times.
+    open_spans: list[TraceEvent] = []
+
+    for ev in events:
+        ts = ev.ts * _US
+        if ev.kind == EventKind.SPAN_BEGIN:
+            open_spans.append(ev)
+            out.append({
+                "name": ev.name, "cat": "phase", "ph": "B",
+                "ts": ts, "pid": pid, "tid": 0, "args": {},
+            })
+        elif ev.kind == EventKind.SPAN_END:
+            begin = open_spans.pop() if open_spans else None
+            dur = float(ev.data.get("duration", 0.0)) * _US
+            out.append({
+                "name": ev.name, "cat": "phase", "ph": "E",
+                "ts": ts, "pid": pid, "tid": 0,
+                "args": {k: v for k, v in ev.data.items() if k != "comp_ops"},
+            })
+            comp_ops = ev.data.get("comp_ops")
+            if comp_ops and begin is not None:
+                start_ts = begin.ts * _US
+                for rank, ops in enumerate(comp_ops):
+                    if not ops:
+                        continue
+                    ranks_seen.add(rank)
+                    out.append({
+                        "name": ev.name, "cat": "rank", "ph": "X",
+                        "ts": start_ts, "dur": max(dur, 1.0),
+                        "pid": pid, "tid": rank + 1,
+                        "args": {"comp_ops": ops},
+                    })
+        elif ev.kind == EventKind.ITERATION:
+            out.append({
+                "name": ev.name, "cat": "iteration", "ph": "i",
+                "ts": ts, "pid": pid, "tid": 0, "s": "g",
+                "args": {k: v for k, v in ev.data.items() if v is not None},
+            })
+            q = ev.data.get("modularity")
+            if q is not None:
+                out.append({
+                    "name": "modularity", "cat": "metric", "ph": "C",
+                    "ts": ts, "pid": pid, "tid": 0,
+                    "args": {"Q": q},
+                })
+        elif ev.kind == EventKind.SUPERSTEP:
+            per_rank = ev.data.get("per_rank_records") or []
+            for rank, recs in enumerate(per_rank):
+                if not recs:
+                    continue
+                ranks_seen.add(rank)
+                out.append({
+                    "name": f"send:{ev.name}", "cat": "comm", "ph": "C",
+                    "ts": ts, "pid": pid, "tid": rank + 1,
+                    "args": {"records": recs},
+                })
+
+    for rank in sorted(ranks_seen):
+        out.insert(1, meta(rank + 1, f"rank {rank}"))
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events), fh)
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text snapshot
+# --------------------------------------------------------------------- #
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_snapshot(events: Sequence[TraceEvent]) -> str:
+    """End-of-run metrics in the Prometheus text exposition format."""
+    lines: list[str] = []
+
+    def metric(name: str, mtype: str, help_: str, samples: list[tuple[dict, float]]):
+        if not samples:
+            return
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {mtype}")
+        for labels, value in samples:
+            lines.append(f"{name}{_prom_labels(labels)} {value:g}")
+
+    run_q = None
+    run_levels = None
+    iters_per_level: dict[int, int] = {}
+    movers_per_level: dict[int, int] = {}
+    level_q: dict[int, float] = {}
+    phase_records: dict[str, float] = {}
+    phase_supersteps: dict[str, int] = {}
+    phase_wall: dict[str, float] = {}
+    table_load: dict[tuple[int, str], float] = {}
+    table_probes: dict[tuple[int, str], float] = {}
+
+    for ev in events:
+        if ev.kind == EventKind.RUN_END:
+            run_q = ev.data.get("modularity")
+            run_levels = ev.data.get("num_levels")
+        elif ev.kind == EventKind.ITERATION:
+            lvl = int(ev.data["level"])
+            iters_per_level[lvl] = iters_per_level.get(lvl, 0) + 1
+            movers_per_level[lvl] = movers_per_level.get(lvl, 0) + int(ev.data["movers"])
+        elif ev.kind == EventKind.LEVEL_END:
+            level_q[int(ev.data["level"])] = float(ev.data["modularity"])
+        elif ev.kind == EventKind.SUPERSTEP:
+            phase_records[ev.name] = phase_records.get(ev.name, 0.0) + ev.data["records"]
+            phase_supersteps[ev.name] = phase_supersteps.get(ev.name, 0) + 1
+        elif ev.kind == EventKind.SPAN_END:
+            phase_wall[ev.name] = phase_wall.get(ev.name, 0.0) + float(
+                ev.data.get("duration", 0.0)
+            )
+        elif ev.kind == EventKind.TABLE_STATS and ev.rank is not None:
+            key = (ev.rank, str(ev.data.get("table", ev.name)))
+            table_load[key] = float(ev.data.get("load_factor", 0.0))
+            table_probes[key] = float(ev.data.get("probes_per_insert", 0.0))
+
+    if run_q is not None:
+        metric("repro_run_modularity", "gauge",
+               "Final modularity of the run", [({}, float(run_q))])
+    if run_levels is not None:
+        metric("repro_run_levels", "gauge",
+               "Number of hierarchy levels", [({}, float(run_levels))])
+    metric("repro_level_modularity", "gauge", "Modularity after each level",
+           [({"level": lvl}, q) for lvl, q in sorted(level_q.items())])
+    metric("repro_iterations_total", "counter", "Inner iterations per level",
+           [({"level": lvl}, float(n)) for lvl, n in sorted(iters_per_level.items())])
+    metric("repro_vertex_migrations_total", "counter",
+           "Vertices migrated per level",
+           [({"level": lvl}, float(n)) for lvl, n in sorted(movers_per_level.items())])
+    metric("repro_records_sent_total", "counter",
+           "Records exchanged per phase",
+           [({"phase": p}, v) for p, v in sorted(phase_records.items())])
+    metric("repro_supersteps_total", "counter",
+           "Bus supersteps per phase",
+           [({"phase": p}, float(v)) for p, v in sorted(phase_supersteps.items())])
+    metric("repro_phase_wall_seconds_total", "counter",
+           "Wall-clock seconds per phase span",
+           [({"phase": p}, v) for p, v in sorted(phase_wall.items())])
+    metric("repro_table_load_factor", "gauge",
+           "Hash-table load factor per rank at last snapshot",
+           [({"rank": r, "table": t}, v)
+            for (r, t), v in sorted(table_load.items())])
+    metric("repro_table_probes_per_insert", "gauge",
+           "Mean probes per insert per rank at last snapshot",
+           [({"rank": r, "table": t}, v)
+            for (r, t), v in sorted(table_probes.items())])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(events: Sequence[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_snapshot(events))
+
+
+# --------------------------------------------------------------------- #
+# Dispatch
+# --------------------------------------------------------------------- #
+
+
+def export_trace(events: Sequence[TraceEvent], path: str, fmt: str = "jsonl") -> None:
+    """Write ``events`` to ``path`` in ``fmt`` (one of :data:`TRACE_FORMATS`)."""
+    if fmt == "jsonl":
+        write_jsonl(events, path)
+    elif fmt == "chrome":
+        write_chrome_trace(events, path)
+    elif fmt == "prom":
+        write_prometheus(events, path)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r} (use one of {TRACE_FORMATS})")

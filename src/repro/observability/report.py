@@ -1,0 +1,168 @@
+"""Render recorded traces as the paper's run-dynamics tables.
+
+``repro report <trace.jsonl>`` feeds a JSONL event stream through these
+formatters:
+
+* :func:`format_convergence_table` -- per-level / per-iteration ε, ΔQ̂,
+  candidate and migrated-vertex counts and modularity (the data behind
+  Figs. 2 and 4);
+* :func:`format_phase_table` -- per-phase wall time, superstep and record
+  totals plus max-rank work (the data behind Fig. 8);
+* :func:`format_table_stats` -- per-rank hash-table load factors and probe
+  lengths at the last snapshot of each level (Fig. 6's run-time counterpart).
+
+Everything returns plain strings so the CLI, tests and notebooks share one
+code path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .events import EventKind, TraceEvent
+
+__all__ = [
+    "run_header",
+    "format_convergence_table",
+    "format_phase_table",
+    "format_table_stats",
+    "format_report",
+]
+
+
+def _fmt(value, spec: str = "{:.4g}") -> str:
+    return "-" if value is None else (
+        spec.format(value) if isinstance(value, float) else str(value)
+    )
+
+
+def run_header(events: Sequence[TraceEvent]) -> str:
+    """One-line run summary from run_start / run_end events."""
+    algo = n = m = ranks = q = levels = None
+    for ev in events:
+        if ev.kind == EventKind.RUN_START:
+            algo = ev.data.get("algorithm")
+            n = ev.data.get("num_vertices")
+            m = ev.data.get("num_edges")
+            ranks = ev.data.get("num_ranks")
+        elif ev.kind == EventKind.RUN_END:
+            q = ev.data.get("modularity")
+            levels = ev.data.get("num_levels")
+    parts = [f"algorithm={algo or '?'}"]
+    if n is not None:
+        parts.append(f"|V|={n}")
+    if m is not None:
+        parts.append(f"|E|={m}")
+    if ranks is not None:
+        parts.append(f"ranks={ranks}")
+    if levels is not None:
+        parts.append(f"levels={levels}")
+    if q is not None:
+        parts.append(f"Q={q:.4f}")
+    return "  ".join(parts)
+
+
+def format_convergence_table(events: Sequence[TraceEvent]) -> str:
+    """Per-iteration convergence table grouped by level."""
+    from ..harness.tables import format_table
+
+    rows = []
+    for ev in events:
+        if ev.kind != EventKind.ITERATION:
+            continue
+        d = ev.data
+        rows.append([
+            d["level"],
+            d["iteration"],
+            _fmt(d.get("epsilon"), "{:.4f}"),
+            _fmt(d.get("dq_threshold"), "{:.3e}"),
+            _fmt(d.get("candidates")),
+            d["movers"],
+            _fmt(d.get("modularity"), "{:.4f}"),
+        ])
+    if not rows:
+        return "no iteration events in trace"
+    return format_table(
+        ["level", "iter", "eps", "dQ_hat", "candidates", "movers", "Q"],
+        rows,
+        title="Convergence (per inner iteration)",
+    )
+
+
+def format_phase_table(events: Sequence[TraceEvent]) -> str:
+    """Aggregate span / superstep events into a per-phase breakdown."""
+    from ..harness.tables import format_table
+
+    wall: dict[str, float] = {}
+    calls: dict[str, int] = {}
+    max_rank_ops: dict[str, float] = {}
+    records: dict[str, float] = {}
+    supersteps: dict[str, int] = {}
+
+    for ev in events:
+        if ev.kind == EventKind.SPAN_END:
+            wall[ev.name] = wall.get(ev.name, 0.0) + float(ev.data.get("duration", 0.0))
+            calls[ev.name] = calls.get(ev.name, 0) + 1
+            ops = ev.data.get("comp_ops")
+            if ops:
+                max_rank_ops[ev.name] = max_rank_ops.get(ev.name, 0.0) + max(ops)
+        elif ev.kind == EventKind.SUPERSTEP:
+            records[ev.name] = records.get(ev.name, 0.0) + ev.data["records"]
+            supersteps[ev.name] = supersteps.get(ev.name, 0) + 1
+
+    names = sorted(set(wall) | set(records))
+    if not names:
+        return "no span/superstep events in trace"
+    rows = []
+    for name in names:
+        rows.append([
+            name,
+            calls.get(name, 0),
+            f"{wall.get(name, 0.0):.4f}",
+            _fmt(max_rank_ops.get(name)),
+            _fmt(records.get(name)),
+            supersteps.get(name, 0),
+        ])
+    return format_table(
+        ["phase", "spans", "wall_s", "comp_ops_max", "records", "supersteps"],
+        rows,
+        title="Phase breakdown",
+    )
+
+
+def format_table_stats(events: Sequence[TraceEvent]) -> str:
+    """Last hash-table snapshot per (level, rank, table)."""
+    from ..harness.tables import format_table
+
+    latest: dict[tuple[int, int, str], dict] = {}
+    for ev in events:
+        if ev.kind != EventKind.TABLE_STATS or ev.rank is None:
+            continue
+        d = ev.data
+        latest[(int(d["level"]), ev.rank, str(d["table"]))] = d
+    if not latest:
+        return ""
+    rows = []
+    for (level, rank, table), d in sorted(latest.items()):
+        rows.append([
+            level, rank, table,
+            _fmt(d.get("entries")),
+            _fmt(float(d.get("load_factor", 0.0)), "{:.3f}"),
+            _fmt(d.get("probes_per_insert"), "{:.2f}"),
+            _fmt(d.get("max_probe_length")),
+        ])
+    return format_table(
+        ["level", "rank", "table", "entries", "load", "probes/insert", "max_probe"],
+        rows,
+        title="Hash-table load (last snapshot per level)",
+    )
+
+
+def format_report(events: Sequence[TraceEvent]) -> str:
+    """The full ``repro report`` output."""
+    sections = [run_header(events), "", format_convergence_table(events), "",
+                format_phase_table(events)]
+    tables = format_table_stats(events)
+    if tables:
+        sections += ["", tables]
+    return "\n".join(sections)

@@ -1,0 +1,247 @@
+"""Run tracer: span + counter + typed-event capture with a no-op fallback.
+
+A :class:`Tracer` accumulates :class:`~repro.observability.events.TraceEvent`
+records in memory; the algorithms emit through the typed helpers
+(:meth:`Tracer.iteration`, :meth:`Tracer.table_stats`, ...) and the
+:class:`~repro.runtime.profiler.PhaseProfiler` bridges its phase context
+manager onto :meth:`begin_span` / :meth:`end_span`, so span nesting mirrors
+the profiler's phase hierarchy exactly.
+
+When tracing is off the instrumented code paths hold :data:`NULL_TRACER`, a
+:class:`NullTracer` whose ``enabled`` flag is False and whose methods are all
+no-ops.  Hot call sites additionally guard with ``if tracer.enabled:`` so the
+disabled cost is one attribute read -- the overhead budget
+``benchmarks/bench_trace_overhead.py`` enforces (< 5% of a parallel run).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from .events import EventKind, TraceEvent
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Collects a typed event stream plus named cumulative counters."""
+
+    enabled: bool = True
+
+    def __init__(self, *, clock: Callable[[], float] | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.counters: dict[str, float] = {}
+        self._clock = clock if clock is not None else time.perf_counter
+        self._t0 = self._clock()
+        self._seq = 0
+        #: Open spans as (name, start_ts, seq_of_begin); LIFO.
+        self._span_stack: list[tuple[str, float]] = []
+
+    # -------------------------------------------------------------- #
+    # Core emission
+    # -------------------------------------------------------------- #
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        *,
+        rank: int | None = None,
+        **data: Any,
+    ) -> TraceEvent:
+        """Append one event; returns it (mainly for tests)."""
+        ev = TraceEvent(
+            seq=self._seq, ts=self._now(), kind=kind, name=name,
+            rank=rank, data=data,
+        )
+        self._seq += 1
+        self.events.append(ev)
+        return ev
+
+    # -------------------------------------------------------------- #
+    # Span API (feeds the Chrome-trace exporter)
+    # -------------------------------------------------------------- #
+
+    def begin_span(self, name: str, *, rank: int | None = None) -> None:
+        self._span_stack.append((name, self._now()))
+        self.emit(EventKind.SPAN_BEGIN, name, rank=rank)
+
+    def end_span(self, **data: Any) -> None:
+        """Close the innermost span; ``data`` rides on the span_end event."""
+        if not self._span_stack:
+            raise RuntimeError("end_span with no open span")
+        name, start = self._span_stack.pop()
+        self.emit(EventKind.SPAN_END, name, duration=self._now() - start, **data)
+
+    @contextmanager
+    def span(self, name: str, *, rank: int | None = None):
+        self.begin_span(name, rank=rank)
+        try:
+            yield self
+        finally:
+            self.end_span()
+
+    @property
+    def span_depth(self) -> int:
+        return len(self._span_stack)
+
+    # -------------------------------------------------------------- #
+    # Counter API
+    # -------------------------------------------------------------- #
+
+    def add_counter(self, name: str, value: float, **labels: Any) -> None:
+        """Increment a cumulative counter and log the increment."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+        self.emit(EventKind.COUNTER, name, value=float(value), **labels)
+
+    # -------------------------------------------------------------- #
+    # Typed events (the run/level/iteration vocabulary)
+    # -------------------------------------------------------------- #
+
+    def run_start(
+        self,
+        algorithm: str,
+        *,
+        num_vertices: int,
+        num_edges: int,
+        num_ranks: int | None = None,
+    ) -> None:
+        self.emit(
+            EventKind.RUN_START, algorithm,
+            algorithm=algorithm, num_vertices=int(num_vertices),
+            num_edges=int(num_edges),
+            num_ranks=None if num_ranks is None else int(num_ranks),
+        )
+
+    def run_end(self, *, modularity: float, num_levels: int) -> None:
+        self.emit(
+            EventKind.RUN_END, "run",
+            modularity=float(modularity), num_levels=int(num_levels),
+        )
+
+    def level_start(self, level: int, *, num_vertices: int) -> None:
+        self.emit(
+            EventKind.LEVEL_START, f"level{level}",
+            level=int(level), num_vertices=int(num_vertices),
+        )
+
+    def level_end(self, level: int, *, modularity: float, iterations: int) -> None:
+        self.emit(
+            EventKind.LEVEL_END, f"level{level}",
+            level=int(level), modularity=float(modularity),
+            iterations=int(iterations),
+        )
+
+    def iteration(
+        self,
+        level: int,
+        iteration: int,
+        *,
+        movers: int,
+        epsilon: float | None = None,
+        dq_threshold: float | None = None,
+        candidates: int | None = None,
+        modularity: float | None = None,
+    ) -> None:
+        """One inner REFINE iteration (or sequential sweep)."""
+        self.emit(
+            EventKind.ITERATION, f"level{level}.iter{iteration}",
+            level=int(level), iteration=int(iteration), movers=int(movers),
+            epsilon=None if epsilon is None else float(epsilon),
+            dq_threshold=None if dq_threshold is None else float(dq_threshold),
+            candidates=None if candidates is None else int(candidates),
+            modularity=None if modularity is None else float(modularity),
+        )
+
+    def superstep(
+        self,
+        phase: str,
+        *,
+        records: int,
+        nbytes: int,
+        messages: int,
+        per_rank_records: list[int] | None = None,
+    ) -> None:
+        """One bus exchange (per-rank comm volumes for the phase)."""
+        self.emit(
+            EventKind.SUPERSTEP, phase,
+            phase=phase, records=int(records), bytes=int(nbytes),
+            messages=int(messages), per_rank_records=per_rank_records,
+        )
+
+    def table_stats(
+        self,
+        level: int,
+        rank: int,
+        table: str,
+        stats: dict[str, Any],
+    ) -> None:
+        """Hash-table occupancy snapshot (load factor, probe lengths)."""
+        self.emit(
+            EventKind.TABLE_STATS, f"{table}_table",
+            rank=rank, level=int(level), table=table, **stats,
+        )
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every method is a no-op, ``enabled`` is False.
+
+    Instrumented code holds this when no tracer was supplied, so call sites
+    never need None checks; hot paths still guard on ``enabled`` to skip
+    payload construction entirely.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # no clock, no buffers
+        self.events = []
+        self.counters = {}
+        self._span_stack = []
+
+    def emit(self, kind, name, *, rank=None, **data):  # type: ignore[override]
+        return None  # pragma: no cover - trivial
+
+    def begin_span(self, name, *, rank=None):
+        pass
+
+    def end_span(self, **data):
+        pass
+
+    @contextmanager
+    def span(self, name, *, rank=None):
+        yield self
+
+    def add_counter(self, name, value, **labels):
+        pass
+
+    def run_start(self, algorithm, *, num_vertices, num_edges, num_ranks=None):
+        pass
+
+    def run_end(self, *, modularity, num_levels):
+        pass
+
+    def level_start(self, level, *, num_vertices):
+        pass
+
+    def level_end(self, level, *, modularity, iterations):
+        pass
+
+    def iteration(self, level, iteration, *, movers, epsilon=None,
+                  dq_threshold=None, candidates=None, modularity=None):
+        pass
+
+    def superstep(self, phase, *, records, nbytes, messages,
+                  per_rank_records=None):
+        pass
+
+    def table_stats(self, level, rank, table, stats):
+        pass
+
+
+#: Shared no-op instance; safe because it is stateless.
+NULL_TRACER = NullTracer()

@@ -14,6 +14,9 @@ import numpy as np
 
 from ..graph import Graph
 from ..metrics import community_sizes, modularity_from_labels
+from ..observability.events import TraceEvent
+from ..observability.exporters import write_jsonl
+from ..observability.tracer import Tracer
 from ..runtime import MachineModel, model_times, total_time
 from ..sequential import louvain as _sequential_louvain
 from .heuristic import ExponentialSchedule, ThresholdSchedule
@@ -40,6 +43,10 @@ class DetectionSummary:
     modeled_total_seconds: float | None = None
     #: The raw algorithm result for deep inspection.
     raw: object | None = field(default=None, repr=False)
+    #: Captured trace events (empty unless a tracer was supplied).
+    events: list[TraceEvent] = field(default_factory=list, repr=False)
+    #: Where the JSONL trace was written (``trace_path=`` argument), if at all.
+    trace_path: str | None = None
 
     @property
     def community_sizes(self) -> np.ndarray:
@@ -55,6 +62,8 @@ def detect_communities(
     machine: MachineModel | None = None,
     threads: int | None = None,
     seed: int | None = 0,
+    tracer: Tracer | None = None,
+    trace_path: str | None = None,
     **config_overrides,
 ) -> DetectionSummary:
     """Detect communities and summarize the outcome.
@@ -74,16 +83,25 @@ def detect_communities(
         per-phase and total seconds for the run.
     threads:
         Threads per node for the machine model (defaults to the machine's).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; the captured events
+        land on ``summary.events`` for library users.
+    trace_path:
+        Write the captured events as JSONL here (creates a tracer if none
+        was passed); recorded on ``summary.trace_path``.
     config_overrides:
         Extra :class:`ParallelLouvainConfig` fields (``max_inner`` etc.).
     """
+    if tracer is None and trace_path is not None:
+        tracer = Tracer()
+
     if algorithm == "sequential":
         if config_overrides:
             raise TypeError(
                 f"unsupported options for sequential: {sorted(config_overrides)}"
             )
-        res = _sequential_louvain(graph, seed=seed)
-        return DetectionSummary(
+        res = _sequential_louvain(graph, seed=seed, tracer=tracer)
+        summary = DetectionSummary(
             algorithm="sequential",
             membership=res.membership,
             modularity=res.final_modularity,
@@ -92,6 +110,7 @@ def detect_communities(
             level_modularities=list(res.modularities),
             raw=res,
         )
+        return _attach_trace(summary, tracer, trace_path)
 
     if algorithm not in ("parallel", "naive"):
         raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -101,9 +120,11 @@ def detect_communities(
         **config_overrides,
     )
     if algorithm == "naive":
-        result: ParallelLouvainResult = naive_parallel_louvain(graph, cfg)
+        result: ParallelLouvainResult = naive_parallel_louvain(
+            graph, cfg, tracer=tracer
+        )
     else:
-        result = parallel_louvain(graph, cfg)
+        result = parallel_louvain(graph, cfg, tracer=tracer)
 
     summary = DetectionSummary(
         algorithm=algorithm,
@@ -125,4 +146,15 @@ def detect_communities(
         summary.modeled_total_seconds = total_time(
             result.simulation.profiler, machine, threads=threads
         )
+    return _attach_trace(summary, tracer, trace_path)
+
+
+def _attach_trace(
+    summary: DetectionSummary, tracer: Tracer | None, trace_path: str | None
+) -> DetectionSummary:
+    if tracer is not None:
+        summary.events = tracer.events
+        if trace_path is not None:
+            write_jsonl(tracer.events, trace_path)
+            summary.trace_path = trace_path
     return summary

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph import Graph
+from ..observability.tracer import NULL_TRACER, Tracer
 from ..runtime import Simulation
 from ..runtime.profiler import PhaseCounters
 from .heuristic import (
@@ -628,6 +629,7 @@ def parallel_louvain(
     config: ParallelLouvainConfig | None = None,
     *,
     initial_membership: np.ndarray | None = None,
+    tracer: Tracer | None = None,
     **kwargs,
 ) -> ParallelLouvainResult:
     """Run the full parallel Louvain algorithm (Algorithm 2).
@@ -641,13 +643,21 @@ def parallel_louvain(
     workflow the paper's two-table design targets: mutate the graph, keep
     the previous communities, and let REFINE repair them.  See
     :mod:`repro.parallel.dynamic`.
+
+    ``tracer`` captures the run as a typed event stream (run/level/iteration
+    events, phase spans, per-superstep comm volumes, hash-table snapshots);
+    see :mod:`repro.observability`.  Without one, a shared no-op tracer is
+    used and the only cost is a handful of attribute checks.
     """
     if config is None:
         config = ParallelLouvainConfig(**kwargs)
     elif kwargs:
         raise TypeError("pass either config or keyword overrides, not both")
+    tracer = tracer if tracer is not None else NULL_TRACER
 
-    sim = Simulation.create(config.num_ranks, reorder_seed=config.reorder_seed)
+    sim = Simulation.create(
+        config.num_ranks, reorder_seed=config.reorder_seed, tracer=tracer
+    )
     partition = ModuloPartition(graph.num_vertices, config.num_ranks)
     tables = build_in_tables(
         graph,
@@ -657,6 +667,13 @@ def parallel_louvain(
         key_shift=config.key_shift,
     )
     ranks = [_RankState(r, partition, tables[r]) for r in range(config.num_ranks)]
+    if tracer.enabled:
+        tracer.run_start(
+            "parallel" if config.schedule is not None else "naive",
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            num_ranks=config.num_ranks,
+        )
     with sim.phase("INIT"):
         m = float(sim.bus.allreduce_sum([st.strength.sum() for st in ranks])) / 2.0
         if initial_membership is not None and graph.num_vertices:
@@ -671,6 +688,8 @@ def parallel_louvain(
         config=config,
     )
     if graph.num_vertices == 0 or m <= 0.0:
+        if tracer.enabled:
+            tracer.run_end(modularity=0.0, num_levels=0)
         return result
 
     membership = np.arange(graph.num_vertices, dtype=np.int64)
@@ -678,6 +697,10 @@ def parallel_louvain(
 
     for level in range(config.max_levels):
         n_level = partition.num_vertices
+        if tracer.enabled:
+            tracer.level_start(level, num_vertices=n_level)
+            for st in ranks:
+                tracer.table_stats(level, st.rank, "in", st.tables.in_table.stats())
         level_before = _snapshot(sim)
         with sim.phase("STATE_PROPAGATION"):
             _state_propagation(sim, partition, ranks)
@@ -720,11 +743,21 @@ def parallel_louvain(
                         phase_counters=_delta(sim, before),
                     )
                 )
+                if tracer.enabled:
+                    tracer.iteration(
+                        level, iteration, movers=moved, epsilon=eps,
+                        dq_threshold=dq_hat, candidates=candidates, modularity=q,
+                    )
                 if moved == 0:
                     break
                 if q - prev_q < config.inner_tol and prev_q > -1.0:
                     break
                 prev_q = q
+
+        if tracer.enabled:
+            for st in ranks:
+                tracer.table_stats(level, st.rank, "out", st.tables.out_table.stats())
+            tracer.level_end(level, modularity=q, iterations=len(iter_stats))
 
         if q - prev_level_q <= config.outer_tol and result.level_labels:
             break
@@ -755,4 +788,8 @@ def parallel_louvain(
         partition = new_partition
 
     result.membership = membership
+    if tracer.enabled:
+        tracer.run_end(
+            modularity=result.final_modularity, num_levels=result.num_levels
+        )
     return result

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..graph import Graph
+from ..observability.tracer import Tracer
 from .louvain import ParallelLouvainConfig, ParallelLouvainResult, parallel_louvain
 
 __all__ = ["naive_parallel_louvain"]
@@ -21,6 +22,8 @@ __all__ = ["naive_parallel_louvain"]
 def naive_parallel_louvain(
     graph: Graph,
     config: ParallelLouvainConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
     **kwargs,
 ) -> ParallelLouvainResult:
     """Run parallel Louvain with the convergence heuristic disabled."""
@@ -30,4 +33,4 @@ def naive_parallel_louvain(
     elif kwargs:
         raise TypeError("pass either config or keyword overrides, not both")
     config = replace(config, schedule=None)
-    return parallel_louvain(graph, config)
+    return parallel_louvain(graph, config, tracer=tracer)

@@ -94,6 +94,13 @@ class MessageBus:
             empty = tuple(np.empty(0, dtype=np.int64) for _ in range(1))
             return ExchangeResult(columns=[empty] * self.num_ranks)
 
+        tracer = self.profiler.tracer if self.profiler is not None else None
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            sent_records = [0] * self.num_ranks
+            sent_bytes = 0
+            sent_messages = 0
+
         per_dest_parts: list[list[tuple[np.ndarray, ...]]] = [
             [] for _ in range(self.num_ranks)
         ]
@@ -129,6 +136,10 @@ class MessageBus:
                     nbytes=int(dest.size) * arity * _BYTES_PER_WORD,
                     messages=touched,
                 )
+            if tracing:
+                sent_records[src] += int(dest.size)
+                sent_bytes += int(dest.size) * arity * _BYTES_PER_WORD
+                sent_messages += touched
 
         inboxes: list[tuple[np.ndarray, ...]] = []
         for d in range(self.num_ranks):
@@ -145,6 +156,14 @@ class MessageBus:
             inboxes.append(cols)
         if self.profiler is not None:
             self.profiler.add_superstep()
+        if tracing:
+            tracer.superstep(
+                self.profiler.current_phase,
+                records=sum(sent_records),
+                nbytes=sent_bytes,
+                messages=sent_messages,
+                per_rank_records=sent_records,
+            )
         return ExchangeResult(columns=inboxes)
 
     # -------------------------------------------------------------- #

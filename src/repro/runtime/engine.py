@@ -13,11 +13,15 @@ other's state outside the bus.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .comm import MessageBus
 from .profiler import PhaseProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.tracer import Tracer
 
 __all__ = ["Simulation"]
 
@@ -29,25 +33,31 @@ class Simulation:
     num_ranks: int
     bus: MessageBus
     profiler: PhaseProfiler
+    tracer: "Tracer | None" = None
 
     @staticmethod
     def create(
         num_ranks: int,
         *,
         reorder_seed: int | None = None,
+        tracer: "Tracer | None" = None,
     ) -> "Simulation":
         """Build a simulation.
 
         ``reorder_seed`` enables failure injection: inboxes are delivered in
         a random (but seeded) order each superstep, which a correct
-        superstep-synchronous algorithm must tolerate.
+        superstep-synchronous algorithm must tolerate.  ``tracer`` attaches a
+        :class:`~repro.observability.Tracer`: the profiler mirrors phases as
+        spans and the bus emits per-superstep comm events into it.
         """
         if num_ranks < 1:
             raise ValueError("need at least one rank")
-        profiler = PhaseProfiler(num_ranks)
+        profiler = PhaseProfiler(num_ranks, tracer=tracer)
         rng = np.random.default_rng(reorder_seed) if reorder_seed is not None else None
         bus = MessageBus(num_ranks, profiler, reorder_rng=rng)
-        return Simulation(num_ranks=num_ranks, bus=bus, profiler=profiler)
+        return Simulation(
+            num_ranks=num_ranks, bus=bus, profiler=profiler, tracer=tracer
+        )
 
     def phase(self, name: str):
         """Shorthand for ``self.profiler.phase(name)``."""

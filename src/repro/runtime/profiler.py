@@ -18,8 +18,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.tracer import Tracer
 
 __all__ = ["PhaseCounters", "PhaseProfiler"]
 
@@ -29,10 +33,10 @@ class PhaseCounters:
     """Counters for one phase, each per simulated rank."""
 
     num_ranks: int
-    comp_ops: np.ndarray = field(default=None)  # type: ignore[assignment]
-    records_sent: np.ndarray = field(default=None)  # type: ignore[assignment]
-    bytes_sent: np.ndarray = field(default=None)  # type: ignore[assignment]
-    messages_sent: np.ndarray = field(default=None)  # type: ignore[assignment]
+    comp_ops: np.ndarray | None = None
+    records_sent: np.ndarray | None = None
+    bytes_sent: np.ndarray | None = None
+    messages_sent: np.ndarray | None = None
     supersteps: int = 0
     collectives: int = 0
 
@@ -63,12 +67,20 @@ class PhaseProfiler:
     communication bus and algorithm code charge counters to it.  Nested
     phases are joined with ``/`` so Fig. 8 can be produced at either
     granularity.
+
+    When a :class:`~repro.observability.tracer.Tracer` is attached, every
+    phase entry/exit is mirrored as a tracer span (same ``/``-joined names),
+    and the span_end event carries the per-rank ``comp_ops`` delta charged to
+    exactly that phase -- the raw material for per-rank lanes in the Chrome
+    trace export.  With no tracer (or a disabled one) the phase path is
+    unchanged except for one attribute check.
     """
 
-    def __init__(self, num_ranks: int) -> None:
+    def __init__(self, num_ranks: int, tracer: "Tracer | None" = None) -> None:
         self.num_ranks = int(num_ranks)
         self.phases: dict[str, PhaseCounters] = {}
         self._stack: list[str] = []
+        self.tracer = tracer
 
     # -------------------------------------------------------------- #
 
@@ -81,10 +93,20 @@ class PhaseProfiler:
         """Attribute all counters recorded inside to ``name`` (nested via /)."""
         full = f"{self._stack[-1]}/{name}" if self._stack else name
         self._stack.append(full)
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            tracer.begin_span(full)
+            ops_before = self._get(full).comp_ops.copy()
         try:
             yield self
         finally:
             self._stack.pop()
+            if tracing:
+                delta = self._get(full).comp_ops - ops_before
+                tracer.end_span(
+                    comp_ops=delta.tolist() if delta.any() else None
+                )
 
     def _get(self, name: str | None = None) -> PhaseCounters:
         key = name if name is not None else self.current_phase

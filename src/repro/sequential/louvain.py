@@ -18,6 +18,7 @@ import numpy as np
 
 from ..graph import Graph
 from ..metrics.modularity import modularity_from_labels
+from ..observability.tracer import NULL_TRACER, Tracer
 
 __all__ = ["LevelTrace", "LouvainResult", "louvain", "louvain_one_level", "aggregate_graph"]
 
@@ -160,17 +161,27 @@ def louvain(
     max_inner: int = 100,
     max_levels: int = 32,
     resolution: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> LouvainResult:
     """Full hierarchical Louvain (Algorithm 1).
 
     Parameters mirror the reference implementation: ``tol`` is the minimum
     modularity improvement per level to continue the outer loop;
     ``resolution`` is the Reichardt-Bornholdt γ (1.0 = plain modularity).
+    ``tracer`` records run/level/iteration events (sweeps carry migration
+    counts; the parallel-only threshold fields stay None).
     """
     rng = np.random.default_rng(seed)
     level_graph = graph
     membership = np.arange(graph.num_vertices, dtype=np.int64)
     result = LouvainResult(membership=membership)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if tracer.enabled:
+        tracer.run_start(
+            "sequential",
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
     prev_q = (
         modularity_from_labels(graph, membership, resolution=resolution)
         if graph.num_vertices
@@ -178,15 +189,23 @@ def louvain(
     )
 
     for _level in range(max_levels):
-        labels, moved = louvain_one_level(
-            level_graph,
-            rng=rng,
-            shuffle=shuffle,
-            min_gain=min_gain,
-            max_inner=max_inner,
-            resolution=resolution,
-        )
-        q = modularity_from_labels(level_graph, labels, resolution=resolution)
+        if tracer.enabled:
+            tracer.level_start(_level, num_vertices=level_graph.num_vertices)
+        with tracer.span(f"SEQUENTIAL/LEVEL{_level}"):
+            labels, moved = louvain_one_level(
+                level_graph,
+                rng=rng,
+                shuffle=shuffle,
+                min_gain=min_gain,
+                max_inner=max_inner,
+                resolution=resolution,
+            )
+            q = modularity_from_labels(level_graph, labels, resolution=resolution)
+        if tracer.enabled:
+            n = level_graph.num_vertices
+            for sweep, frac in enumerate(moved, start=1):
+                tracer.iteration(_level, sweep, movers=int(round(frac * n)))
+            tracer.level_end(_level, modularity=q, iterations=len(moved))
         if q - prev_q <= tol and result.level_labels:
             break
         result.level_labels.append(labels)
@@ -210,4 +229,8 @@ def louvain(
         level_graph = new_graph
 
     result.membership = membership
+    if tracer.enabled:
+        tracer.run_end(
+            modularity=result.final_modularity, num_levels=result.num_levels
+        )
     return result

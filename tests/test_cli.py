@@ -107,6 +107,68 @@ class TestDetect:
         assert rc == 2
 
 
+class TestTrace:
+    def test_detect_trace_then_report(self, edge_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rc = main(["detect", str(edge_file), "--trace", str(trace)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        assert trace.exists()
+
+        rc = main(["report", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The acceptance surface: per-iteration eps, movers and per-level Q.
+        assert "eps" in out and "movers" in out and "Q" in out
+        assert "Convergence (per inner iteration)" in out
+        assert "Phase breakdown" in out
+
+    def test_chrome_trace_is_valid_trace_event_json(self, edge_file, tmp_path):
+        trace = tmp_path / "t.json"
+        rc = main([
+            "detect", str(edge_file), "--trace", str(trace),
+            "--trace-format", "chrome",
+        ])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert all(
+            {"name", "ph", "ts", "pid", "tid"} <= set(ev)
+            for ev in doc["traceEvents"]
+        )
+
+    def test_prom_snapshot(self, edge_file, tmp_path):
+        trace = tmp_path / "t.prom"
+        rc = main([
+            "detect", str(edge_file), "--trace", str(trace),
+            "--trace-format", "prom",
+        ])
+        assert rc == 0
+        text = trace.read_text()
+        assert "# TYPE repro_run_modularity gauge" in text
+
+    def test_trace_rejected_for_lpa(self, edge_file, tmp_path):
+        rc = main([
+            "detect", str(edge_file), "--algorithm", "lpa",
+            "--trace", str(tmp_path / "t.jsonl"),
+        ])
+        assert rc == 2
+
+    def test_report_sections(self, edge_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["detect", str(edge_file), "--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["report", str(trace), "--section", "convergence"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Convergence" in out and "Phase breakdown" not in out
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
 class TestInfo:
     def test_info(self, edge_file, capsys):
         rc = main(["info", str(edge_file), "--clustering"])
