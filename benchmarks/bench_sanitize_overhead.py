@@ -1,0 +1,102 @@
+"""Sanitizer-disabled overhead budget on the parallel hot path.
+
+The :mod:`repro.analysis` contract mirrors the observability one: a
+*disabled* sanitizer costs almost nothing, because every hook site holds the
+shared ``NULL_SANITIZER`` and guards check construction behind one
+``sanitizer.enabled`` attribute read.  Enforced the same two ways as
+``bench_trace_overhead.py``:
+
+1. **Measured bound** -- the per-hook disabled cost (attribute check + no-op
+   call, timed in a tight loop) multiplied by the number of checks a real
+   sanitized run performs (``Sanitizer.checks_run``) must be < 5% of the
+   disabled run's wall time.  Measuring the no-op directly is robust to
+   machine noise; differencing two noisy run timings is not.
+2. **Sanity** -- an enabled run must actually run checks, and the disabled
+   path must leave the shared null instance untouched.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import NULL_SANITIZER, Sanitizer
+from repro.generators import LFRParams, generate_lfr
+from repro.parallel import parallel_louvain
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_sanitizer_overhead_under_5_percent():
+    graph = generate_lfr(
+        LFRParams(num_vertices=400, avg_degree=10, max_degree=40, mixing=0.2),
+        seed=1,
+    ).graph
+
+    # Disabled-path wall time (the production configuration).
+    run_seconds = _best_of(lambda: parallel_louvain(graph, num_ranks=4))
+
+    # How many hook executions does this run perform?  ``checks_run`` counts
+    # every individual check a sanitized run makes; double it to over-count
+    # guard sites that bail before reaching a check (table/bus fast paths).
+    san = Sanitizer()
+    parallel_louvain(graph, num_ranks=4, sanitize=san)
+    hook_executions = 2 * san.checks_run
+    assert hook_executions > 0, "sanitized run must perform checks"
+
+    # Per-hook disabled cost: enabled check + no-op method dispatch.
+    loops = 200_000
+    ids = np.array([1], dtype=np.int64)
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        if NULL_SANITIZER.enabled:
+            NULL_SANITIZER.check_epsilon(0.5, 1)  # pragma: no cover
+    checked = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        NULL_SANITIZER.check_pack_bounds(ids, ids, 32)
+        NULL_SANITIZER.check_conservation(0.0, 0.0)
+    noop_calls = time.perf_counter() - t0
+    per_hook = (checked + noop_calls / 2) / loops
+
+    overhead = hook_executions * per_hook
+    fraction = overhead / run_seconds
+    print(
+        f"\ndisabled-sanitizer overhead: {overhead * 1e6:.1f}us over "
+        f"{run_seconds * 1e3:.1f}ms run "
+        f"({hook_executions} hooks x {per_hook * 1e9:.0f}ns) = {fraction:.4%}"
+    )
+    assert fraction < 0.05, (
+        f"disabled sanitizing costs {fraction:.2%} of the parallel run "
+        f"(budget 5%)"
+    )
+
+
+def test_disabled_run_leaves_null_sanitizer_untouched():
+    graph = generate_lfr(
+        LFRParams(num_vertices=120, avg_degree=8, max_degree=24, mixing=0.2),
+        seed=2,
+    ).graph
+    res = parallel_louvain(graph, num_ranks=2)
+    assert res.simulation.sanitizer is NULL_SANITIZER
+    assert NULL_SANITIZER.checks_run == 0
+
+
+def test_sanitized_run_is_bitwise_identical():
+    """Sanitizing observes; it must never steer the algorithm."""
+    graph = generate_lfr(
+        LFRParams(num_vertices=300, avg_degree=10, max_degree=30, mixing=0.2),
+        seed=3,
+    ).graph
+    plain = parallel_louvain(graph, num_ranks=3)
+    checked = parallel_louvain(graph, num_ranks=3, sanitize=True)
+    assert np.array_equal(plain.membership, checked.membership)
+    assert plain.modularities == checked.modularities

@@ -14,9 +14,12 @@ Public API highlights
 * :mod:`repro.metrics` -- modularity and all Table II/III quality metrics.
 * :mod:`repro.runtime` -- the simulated SPMD runtime and machine models.
 * :mod:`repro.harness` -- one experiment runner per paper table/figure.
+* :mod:`repro.analysis` -- SPMD superstep-safety linter (``repro check``)
+  and the opt-in runtime invariant sanitizer.
 """
 
 from . import (
+    analysis,
     generators,
     graph,
     harness,
@@ -27,6 +30,7 @@ from . import (
     runtime,
     sequential,
 )
+from .analysis import InvariantViolation, Sanitizer
 from .graph import Graph
 from .metrics import modularity
 from .observability import TraceEvent, Tracer
@@ -58,6 +62,9 @@ __all__ = [
     "BGQ",
     "Tracer",
     "TraceEvent",
+    "InvariantViolation",
+    "Sanitizer",
+    "analysis",
     "graph",
     "hashing",
     "generators",

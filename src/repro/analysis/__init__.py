@@ -1,0 +1,58 @@
+"""Static analysis and runtime invariant checking (``repro check``).
+
+Two prongs guard the SPMD discipline the paper's algorithm depends on:
+
+* **AST linter** (:mod:`repro.analysis.linter` + built-in
+  :mod:`repro.analysis.checkers`): superstep-safety rules over kernel
+  source -- cross-rank state access outside the MessageBus, In_Table
+  mutation during REFINE, Out_Table reuse without reset, arithmetic on
+  packed Eq.-5 keys.  Run via ``repro check <paths>`` or
+  :func:`run_checks`; the registry is pluggable via
+  :func:`register_checker`.
+
+* **Runtime sanitizer** (:mod:`repro.analysis.sanitizer`): opt-in contract
+  hooks inside the hash tables, the bus and the parallel kernels that
+  verify key-packing bounds, In_Table immutability per level, weight
+  conservation across RECONSTRUCTION, Eq.-7 epsilon bounds and
+  per-superstep rank participation.  Enable with ``REPRO_SANITIZE=1`` or
+  ``detect_communities(..., sanitize=True)``; violations raise
+  :class:`InvariantViolation` with the offending rank/level/iteration.
+"""
+
+from . import checkers  # noqa: F401  (imports register the built-in checkers)
+from .findings import Finding, format_findings
+from .linter import (
+    CHECKERS,
+    CheckerBase,
+    check_file,
+    get_checkers,
+    iter_python_files,
+    register_checker,
+    run_checks,
+)
+from .sanitizer import (
+    NULL_SANITIZER,
+    InvariantViolation,
+    NullSanitizer,
+    Sanitizer,
+    resolve_sanitizer,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "format_findings",
+    "CheckerBase",
+    "CHECKERS",
+    "register_checker",
+    "get_checkers",
+    "iter_python_files",
+    "check_file",
+    "run_checks",
+    "InvariantViolation",
+    "Sanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "sanitize_enabled",
+    "resolve_sanitizer",
+]

@@ -1,0 +1,339 @@
+"""Built-in SPMD superstep-safety and domain checkers.
+
+Four rules, each encoding one discipline the paper's algorithm depends on and
+that the simulated runtime cannot enforce mechanically:
+
+``spmd-cross-rank``
+    Inside a per-rank kernel loop (``for st in ranks:``), code must not touch
+    another rank's state directly -- no ``ranks[...]`` subscripts, no nested
+    sweep over the rank list.  Every cross-rank data flow has to go through
+    ``MessageBus.exchange`` / ``allreduce*`` / ``allgather`` / ``barrier`` so
+    each inner iteration sees the stale snapshot the paper's Algorithm 4
+    assumes (§III challenge 2).  This is the static race detector for the
+    simulated runtime: direct peeks are exactly the reads that would race in
+    a real deployment.
+
+``in-table-mutation``
+    ``In_Table`` is the level's graph structure and immutable during REFINE
+    (§IV-A, Fig. 1); it may only be (re)built during GRAPH RECONSTRUCTION or
+    initial ingest.  The rule flags In_Table mutation inside any loop that
+    also performs REFINE-phase work.
+
+``out-table-reuse``
+    ``Out_Table`` is rebuilt from scratch by every STATE PROPAGATION
+    (Algorithm 3); accumulating into it inside a loop without a preceding
+    ``reset_out_table()`` carries stale ``w_{u->c}`` into the next iteration.
+
+``packed-key-arithmetic``
+    Keys from ``pack_key`` are bit-field concatenations (Eq. 5); ordinary
+    arithmetic on them silently crosses field boundaries.  Unpack first.
+
+Checkers are pure AST analyses: no imports are executed, so they can run on
+broken or hostile code.  Nested function bodies are analyzed independently
+(a ``def`` boundary ends the enclosing loop's superstep context).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .linter import CheckerBase, register_checker
+
+__all__ = [
+    "CrossRankStateChecker",
+    "InTableMutationChecker",
+    "OutTableReuseChecker",
+    "PackedKeyArithmeticChecker",
+]
+
+#: Variable names conventionally bound to the per-rank state list.
+RANK_COLLECTION_NAMES = frozenset({"ranks", "rank_states"})
+
+_SCOPE_BOUNDARIES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _walk_same_scope(nodes: Iterable[ast.AST]) -> Iterator[ast.AST]:
+    """Yield descendants without crossing into nested function/class scopes."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_BOUNDARIES):
+                continue
+            stack.append(child)
+
+
+def _attr_chain(node: ast.AST) -> tuple[str, ...]:
+    """Dotted-name chain of a Name/Attribute expression, e.g.
+
+    ``st.tables.out_table.clear`` -> ``("st", "tables", "out_table",
+    "clear")``.  Chains rooted in calls/subscripts get a ``"*"`` root so the
+    tail is still comparable.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("*")
+    return tuple(reversed(parts))
+
+
+def _call_chain(node: ast.Call) -> tuple[str, ...]:
+    return _attr_chain(node.func)
+
+
+def _iterates_ranks(iter_node: ast.AST) -> bool:
+    """Does this ``for``-loop iterable walk the per-rank state list?
+
+    Matches plain iteration (``for st in ranks``) and iteration through
+    ``zip`` / ``enumerate`` / ``reversed`` wrappers.
+    """
+    if isinstance(iter_node, ast.Name):
+        return iter_node.id in RANK_COLLECTION_NAMES
+    if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name):
+        if iter_node.func.id in {"zip", "enumerate", "reversed"}:
+            return any(_iterates_ranks(arg) for arg in iter_node.args)
+    return False
+
+
+@register_checker
+class CrossRankStateChecker(CheckerBase):
+    """Flag direct cross-rank state access inside per-rank kernel loops."""
+
+    name = "spmd-cross-rank"
+    description = (
+        "per-rank loops must not read or write another rank's state except "
+        "through MessageBus.exchange/allreduce/allgather/barrier"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        for loop in ast.walk(tree):
+            if not isinstance(loop, ast.For) or not _iterates_ranks(loop.iter):
+                continue
+            for node in _walk_same_scope(loop.body):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in RANK_COLLECTION_NAMES
+                ):
+                    yield self.finding(
+                        path, node,
+                        f"indexes {node.value.id}[...] inside a per-rank loop: "
+                        "this reads another rank's state outside the bus; "
+                        "route it through MessageBus.exchange/allreduce/"
+                        "allgather instead",
+                    )
+                elif (
+                    isinstance(node, ast.For)
+                    and node is not loop
+                    and _iterates_ranks(node.iter)
+                ):
+                    yield self.finding(
+                        path, node,
+                        "nested sweep over the rank list inside a per-rank "
+                        "loop: every rank would scan every other rank's "
+                        "state; exchange the data through the MessageBus",
+                    )
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                ) and any(_iterates_ranks(gen.iter) for gen in node.generators):
+                    yield self.finding(
+                        path, node,
+                        "comprehension over the rank list inside a per-rank "
+                        "loop gathers remote state without a collective; use "
+                        "MessageBus.allgather",
+                    )
+
+
+#: Calls that mutate an In_Table (via RankTables helpers or directly).
+_IN_TABLE_HELPERS = frozenset({"add_in_edges", "reset_in_table"})
+_TABLE_MUTATORS = frozenset(
+    {"clear", "insert_accumulate", "_insert_unique", "_rehash", "reserve"}
+)
+#: Calls that mark a loop as doing REFINE-phase work.
+_REFINE_MARKERS = frozenset(
+    {
+        "out_entries",
+        "accumulate_out",
+        "reset_out_table",
+        "_find_best",
+        "_apply_moves",
+        "_compute_threshold",
+        "_compute_modularity",
+        "lookup_tot",
+    }
+)
+
+
+def _is_in_table_mutation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        chain = _call_chain(node)
+        if chain[-1] in _IN_TABLE_HELPERS:
+            return True
+        return "in_table" in chain[:-1] and chain[-1] in _TABLE_MUTATORS
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        return any("in_table" in _attr_chain(t) for t in targets)
+    return False
+
+
+@register_checker
+class InTableMutationChecker(CheckerBase):
+    """Flag In_Table mutation inside loops that also do REFINE work."""
+
+    name = "in-table-mutation"
+    description = (
+        "In_Table is immutable within a level; it may only be rebuilt during "
+        "GRAPH RECONSTRUCTION, never inside the REFINE loop"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            body = list(_walk_same_scope(loop.body))
+            has_refine = any(
+                isinstance(n, ast.Call) and _call_chain(n)[-1] in _REFINE_MARKERS
+                for n in body
+            )
+            if not has_refine:
+                continue
+            for node in body:
+                if _is_in_table_mutation(node):
+                    yield self.finding(
+                        path, node,
+                        "mutates In_Table inside a loop doing REFINE-phase "
+                        "work; In_Table is the level's immutable graph "
+                        "structure (Fig. 1) -- rebuild it only during GRAPH "
+                        "RECONSTRUCTION",
+                    )
+
+
+def _out_table_call_kind(node: ast.AST) -> str | None:
+    """Classify a call as Out_Table 'reset', 'accumulate', or neither."""
+    if not isinstance(node, ast.Call):
+        return None
+    chain = _call_chain(node)
+    tail = chain[-1]
+    if tail == "reset_out_table":
+        return "reset"
+    if tail == "accumulate_out":
+        return "accumulate"
+    if "out_table" in chain[:-1]:
+        if tail == "clear":
+            return "reset"
+        if tail == "insert_accumulate":
+            return "accumulate"
+    return None
+
+
+def _out_table_receiver(node: ast.Call) -> tuple[str, ...]:
+    chain = _call_chain(node)[:-1]
+    return tuple(p for p in chain if p != "out_table")
+
+
+@register_checker
+class OutTableReuseChecker(CheckerBase):
+    """Flag Out_Table accumulation in a loop with no preceding reset."""
+
+    name = "out-table-reuse"
+    description = (
+        "Out_Table must be reset before re-accumulation each iteration; "
+        "reuse carries stale w_{u->c} into the next superstep"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            resets: list[tuple[tuple[int, int], tuple[str, ...]]] = []
+            accums: list[tuple[tuple[int, int], tuple[str, ...], ast.Call]] = []
+            for node in _walk_same_scope(loop.body):
+                kind = _out_table_call_kind(node)
+                if kind is None:
+                    continue
+                assert isinstance(node, ast.Call)
+                pos = (node.lineno, node.col_offset)
+                if kind == "reset":
+                    resets.append((pos, _out_table_receiver(node)))
+                else:
+                    accums.append((pos, _out_table_receiver(node), node))
+            for pos, receiver, node in accums:
+                if not any(rp < pos and rr == receiver for rp, rr in resets):
+                    yield self.finding(
+                        path, node,
+                        "accumulates into Out_Table inside a loop without "
+                        "resetting it first; Algorithm 3 rebuilds Out_Table "
+                        "from scratch every STATE PROPAGATION",
+                    )
+
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+
+@register_checker
+class PackedKeyArithmeticChecker(CheckerBase):
+    """Flag ordinary arithmetic on values produced by ``pack_key``."""
+
+    name = "packed-key-arithmetic"
+    description = (
+        "packed 64-bit keys (Eq. 5) are bit-field concatenations; arithmetic "
+        "crosses field boundaries -- unpack_key first"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        scopes: list[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(scope, path)
+
+    def _check_scope(self, scope: ast.AST, path: str) -> Iterable[Finding]:
+        body = [
+            node
+            for node in (scope.body if hasattr(scope, "body") else [])
+            if not isinstance(node, _SCOPE_BOUNDARIES)
+        ]
+        nodes = list(_walk_same_scope(body))
+        packed: set[str] = set()
+        for node in nodes:
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and _call_chain(node.value)[-1] == "pack_key"
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        packed.add(target.id)
+        if not packed:
+            return
+        for node in nodes:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+                for side in (node.left, node.right):
+                    if isinstance(side, ast.Name) and side.id in packed:
+                        yield self.finding(
+                            path, node,
+                            f"arithmetic on packed key {side.id!r}: the value "
+                            "is a (t1<<shift)|t2 bit field (Eq. 5); unpack "
+                            "with unpack_key before doing id arithmetic",
+                        )
+                        break
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, _ARITH_OPS):
+                names = [
+                    n
+                    for n in (node.target, node.value)
+                    if isinstance(n, ast.Name) and n.id in packed
+                ]
+                if names:
+                    yield self.finding(
+                        path, node,
+                        f"arithmetic on packed key {names[0].id!r}: the value "
+                        "is a (t1<<shift)|t2 bit field (Eq. 5); unpack with "
+                        "unpack_key before doing id arithmetic",
+                    )

@@ -1,0 +1,37 @@
+"""Finding records produced by the static-analysis checkers.
+
+A :class:`Finding` pins one rule violation to a source location.  Findings
+sort by ``(path, line, col)`` so `repro check` output is deterministic
+regardless of checker execution order, and :func:`format_findings` renders
+the familiar ``path:line:col: [checker] message`` form compilers use (so
+editors and CI annotations can parse it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable
+
+__all__ = ["Finding", "format_findings"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    checker: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.checker}] {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """Render findings sorted by location, one per line."""
+    return "\n".join(f.format() for f in sorted(findings))

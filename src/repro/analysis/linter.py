@@ -1,0 +1,141 @@
+"""AST linter engine with a pluggable checker registry (``repro check``).
+
+The engine is deliberately small: it resolves paths to Python files, parses
+each file once, and hands the tree to every selected checker.  Checkers are
+classes registered with :func:`register_checker`; each declares a ``name``
+(the id printed in findings and accepted by ``--select``) and a one-line
+``description``, and implements ``check(tree, path) -> Iterable[Finding]``.
+
+The built-in checkers (:mod:`repro.analysis.checkers`) encode the SPMD
+discipline the simulated runtime relies on -- see DESIGN.md "Correctness
+tooling" for the invariant catalogue and their paper provenance.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "CheckerBase",
+    "CHECKERS",
+    "register_checker",
+    "get_checkers",
+    "iter_python_files",
+    "check_file",
+    "run_checks",
+]
+
+
+class CheckerBase:
+    """Base class for AST checkers.
+
+    Subclasses set ``name`` / ``description`` and implement :meth:`check`.
+    ``finding`` is a convenience that stamps the checker id and the node's
+    location onto the message.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            checker=self.name,
+            message=message,
+        )
+
+
+#: Registry of available checkers, keyed by checker ``name``.
+CHECKERS: dict[str, type[CheckerBase]] = {}
+
+
+def register_checker(cls: type[CheckerBase]) -> type[CheckerBase]:
+    """Class decorator adding a checker to :data:`CHECKERS`.
+
+    Third-party checkers can register themselves the same way the built-ins
+    do; ``repro check`` picks them up as long as the defining module is
+    imported first.
+    """
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} must define a non-empty name")
+    if cls.name in CHECKERS and CHECKERS[cls.name] is not cls:
+        raise ValueError(f"checker name {cls.name!r} is already registered")
+    CHECKERS[cls.name] = cls
+    return cls
+
+
+def get_checkers(select: Sequence[str] | None = None) -> list[CheckerBase]:
+    """Instantiate the selected checkers (all registered ones by default)."""
+    if select is None:
+        names = sorted(CHECKERS)
+    else:
+        unknown = [n for n in select if n not in CHECKERS]
+        if unknown:
+            raise ValueError(
+                f"unknown checker(s) {unknown}; available: {sorted(CHECKERS)}"
+            )
+        names = list(select)
+    return [CHECKERS[n]() for n in names]
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``*.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+
+
+def check_file(
+    path: str | Path, checkers: Sequence[CheckerBase] | None = None
+) -> list[Finding]:
+    """Parse one file and run the checkers over it.
+
+    A file that does not parse yields a single ``parse-error`` finding rather
+    than aborting the whole run.
+    """
+    path = Path(path)
+    if checkers is None:
+        checkers = get_checkers()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 0,
+                col=(exc.offset or 0),
+                checker="parse-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: set[Finding] = set()
+    for checker in checkers:
+        findings.update(checker.check(tree, str(path)))
+    # Deduplicate: nested loops can surface the same violation node twice.
+    return sorted(findings)
+
+
+def run_checks(
+    paths: Iterable[str | Path], *, select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run the selected checkers over every Python file under ``paths``."""
+    checkers = get_checkers(select)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, checkers))
+    return sorted(findings)

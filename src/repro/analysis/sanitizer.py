@@ -1,0 +1,388 @@
+"""Runtime invariant sanitizer for the simulated SPMD runtime.
+
+Opt-in contract checks threaded through the hash tables, the message bus and
+the parallel Louvain kernels.  Enabled via ``REPRO_SANITIZE=1`` in the
+environment or explicitly (``detect_communities(..., sanitize=True)``); when
+disabled, every hook site holds :data:`NULL_SANITIZER` and pays one
+``enabled`` attribute read (the same pattern as the observability tracer,
+with the same <5% budget enforced by
+``benchmarks/bench_sanitize_overhead.py``).
+
+Checked invariants and their paper provenance:
+
+* **key-pack-range** -- vertex/community ids fit the ``f(t1,t2)=(t1<<s)|t2``
+  bit fields and never collide with the table's EMPTY sentinel (Eq. 5).
+* **in-table-immutable** -- ``In_Table`` fingerprints are constant within a
+  level; only GRAPH RECONSTRUCTION may replace them (§IV-A, Fig. 1).
+* **weight-conservation** -- Σ of in-edge weights (= Σ in-degrees + Σ
+  out-degrees, i.e. ``2m``) is constant across RECONSTRUCTION, and Σ_tot
+  over all community owners stays ``2m`` after every UPDATE (Algorithm 5).
+* **epsilon-bounds** -- the Eq. 7 schedule yields a move fraction in
+  ``(0, 1]`` every inner iteration.
+* **superstep-participation** -- every rank contributes an outbox to every
+  ``MessageBus.exchange`` superstep (one exchange per rank per superstep;
+  Algorithms 2-5 are barrier-synchronous).
+* **finite-weights** -- edge/community weights stay finite through hashing.
+
+Violations raise :class:`InvariantViolation` carrying the offending rank /
+level / iteration / phase (the same context vocabulary as
+:mod:`repro.observability` events), and are mirrored onto an attached tracer
+as an ``invariant`` event so traces show *where* a run died.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.tracer import Tracer
+
+__all__ = [
+    "InvariantViolation",
+    "Sanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "sanitize_enabled",
+    "resolve_sanitizer",
+]
+
+#: Environment variable that switches the sanitizer on globally.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Mirror of :data:`repro.hashing.table.EMPTY_KEY` (kept literal so this
+#: module imports nothing from the packages it guards).
+_EMPTY_SENTINEL = 0xFFFFFFFFFFFFFFFF
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests sanitizing (1/true/yes/on)."""
+    return os.environ.get(SANITIZE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant failed; carries the SPMD context of the failure."""
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        rank: int | None = None,
+        level: int | None = None,
+        iteration: int | None = None,
+        phase: str | None = None,
+        context: dict[str, Any] | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.rank = rank
+        self.level = level
+        self.iteration = iteration
+        self.phase = phase
+        self.context = dict(context or {})
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        where = ", ".join(
+            f"{k}={v}"
+            for k, v in (
+                ("rank", self.rank),
+                ("level", self.level),
+                ("iteration", self.iteration),
+                ("phase", self.phase),
+            )
+            if v is not None
+        )
+        extra = "".join(f" [{k}={v}]" for k, v in sorted(self.context.items()))
+        loc = f" at {where}" if where else ""
+        return f"invariant {self.invariant!r} violated{loc}: {self.message}{extra}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat payload (the ``invariant`` trace event's ``data``)."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "rank": self.rank,
+            "level": self.level,
+            "iteration": self.iteration,
+            "phase": self.phase,
+            **self.context,
+        }
+
+
+class Sanitizer:
+    """Carries SPMD context and performs the invariant checks.
+
+    One instance accompanies one run (like a tracer); the driver updates the
+    level/iteration/phase context as the algorithm advances, so any check
+    that fails can say exactly where.  All checks raise on violation -- the
+    sanitizer's job is to fail fast and loudly, not to collect.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, *, tracer: "Tracer | None" = None) -> None:
+        self.tracer = tracer
+        self.level: int | None = None
+        self.iteration: int | None = None
+        self.phase: str | None = None
+        #: Number of individual invariant checks performed (for the
+        #: overhead benchmark and for asserting coverage in tests).
+        self.checks_run = 0
+
+    # -------------------------------------------------------------- #
+    # Context
+    # -------------------------------------------------------------- #
+
+    def enter_level(self, level: int) -> None:
+        self.level = int(level)
+        self.iteration = None
+
+    def enter_iteration(self, iteration: int) -> None:
+        self.iteration = int(iteration)
+
+    def enter_phase(self, phase: str | None) -> None:
+        self.phase = phase
+
+    # -------------------------------------------------------------- #
+    # Violation plumbing
+    # -------------------------------------------------------------- #
+
+    def violation(
+        self, invariant: str, message: str, *, rank: int | None = None, **context: Any
+    ) -> None:
+        """Raise an :class:`InvariantViolation` with the current context."""
+        exc = InvariantViolation(
+            invariant,
+            message,
+            rank=rank,
+            level=self.level,
+            iteration=self.iteration,
+            phase=self.phase,
+            context=context,
+        )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            from ..observability.events import EventKind
+
+            payload = exc.to_dict()
+            payload.pop("rank", None)
+            tracer.emit(EventKind.INVARIANT, invariant, rank=rank, **payload)
+        raise exc
+
+    # -------------------------------------------------------------- #
+    # Checks
+    # -------------------------------------------------------------- #
+
+    def check_pack_bounds(
+        self,
+        t1: np.ndarray,
+        t2: np.ndarray,
+        shift: int,
+        *,
+        rank: int | None = None,
+        table: str = "out",
+    ) -> None:
+        """Eq. 5 field widths: both tuple elements fit, sentinel untouched."""
+        self.checks_run += 1
+        t1 = np.asarray(t1)
+        t2 = np.asarray(t2)
+        if t1.size == 0:
+            return
+        hi_bits = 64 - int(shift)
+        for name, arr, bits in (("t1", t1, hi_bits), ("t2", t2, int(shift))):
+            if np.issubdtype(arr.dtype, np.signedinteger) and int(arr.min()) < 0:
+                self.violation(
+                    "key-pack-range",
+                    f"negative id in {name} cannot be packed into {bits} bits",
+                    rank=rank, table=table, shift=int(shift),
+                )
+            if int(arr.max()) >= (1 << bits):
+                self.violation(
+                    "key-pack-range",
+                    f"{name} max {int(arr.max())} does not fit {bits}-bit "
+                    f"field of the packed key (Eq. 5)",
+                    rank=rank, table=table, shift=int(shift),
+                )
+        hi_max = (1 << hi_bits) - 1
+        lo_max = (1 << int(shift)) - 1
+        if bool(
+            np.any(
+                (t1.astype(np.uint64) == np.uint64(hi_max))
+                & (t2.astype(np.uint64) == np.uint64(lo_max))
+            )
+        ):
+            self.violation(
+                "key-pack-range",
+                "packed key equals the EMPTY slot sentinel "
+                f"0x{_EMPTY_SENTINEL:016X}; the record would silently vanish "
+                "from the hash table",
+                rank=rank, table=table, shift=int(shift),
+            )
+
+    def check_finite(
+        self, values: np.ndarray, *, rank: int | None = None, what: str = "weights"
+    ) -> None:
+        self.checks_run += 1
+        arr = np.asarray(values)
+        if arr.size and not bool(np.isfinite(arr).all()):
+            self.violation(
+                "finite-weights",
+                f"non-finite {what} entering the hash table",
+                rank=rank,
+            )
+
+    def table_fingerprint(self, table: Any) -> tuple[int, int, float]:
+        """Cheap content fingerprint: (entries, xor of keys, weight sum)."""
+        self.checks_run += 1
+        keys, weights = table.items()
+        key_xor = int(np.bitwise_xor.reduce(keys)) if keys.size else 0
+        return (len(table), key_xor, float(weights.sum()))
+
+    def check_table_unchanged(
+        self,
+        table: Any,
+        fingerprint: tuple[int, int, float],
+        *,
+        rank: int | None = None,
+        table_name: str = "in",
+    ) -> None:
+        """In_Table immutability within a level (Fig. 1)."""
+        current = self.table_fingerprint(table)
+        if current != fingerprint:
+            self.violation(
+                "in-table-immutable",
+                f"{table_name.capitalize()}_Table changed within a level: "
+                f"fingerprint {fingerprint} -> {current}; only GRAPH "
+                "RECONSTRUCTION may rebuild it",
+                rank=rank,
+                entries_before=fingerprint[0],
+                entries_after=current[0],
+            )
+
+    def check_epsilon(self, epsilon: float, iteration: int) -> None:
+        """Eq. 7 schedule bounds: the move fraction lives in (0, 1]."""
+        self.checks_run += 1
+        if not 0.0 < float(epsilon) <= 1.0:
+            self.violation(
+                "epsilon-bounds",
+                f"schedule produced epsilon={float(epsilon)!r} at inner "
+                f"iteration {int(iteration)}; Eq. 7 requires a move "
+                "fraction in (0, 1]",
+            )
+
+    def check_conservation(
+        self,
+        total: float,
+        expected: float,
+        *,
+        what: str = "community weight",
+        rank: int | None = None,
+        rtol: float = 1e-6,
+    ) -> None:
+        """Conserved aggregate (e.g. Σ_tot == 2m, edge weight across
+        RECONSTRUCTION)."""
+        self.checks_run += 1
+        tol = rtol * max(1.0, abs(float(expected)))
+        if abs(float(total) - float(expected)) > tol:
+            self.violation(
+                "weight-conservation",
+                f"{what} drifted: expected {float(expected)!r}, "
+                f"got {float(total)!r}",
+                rank=rank,
+                expected=float(expected),
+                actual=float(total),
+            )
+
+    def check_exchange_participation(
+        self, outboxes: list[Any], *, phase: str | None = None
+    ) -> None:
+        """Barrier discipline: every rank joins every exchange superstep."""
+        self.checks_run += 1
+        missing = [r for r, box in enumerate(outboxes) if box is None]
+        if missing and len(missing) < len(outboxes):
+            self.violation(
+                "superstep-participation",
+                f"rank(s) {missing} skipped the exchange while others sent; "
+                "every rank must participate in each superstep (send empty "
+                "columns, not None)",
+                rank=missing[0],
+                phase=phase,
+                missing_ranks=missing,
+            )
+
+
+class NullSanitizer(Sanitizer):
+    """Disabled sanitizer: every check is a no-op, ``enabled`` is False.
+
+    Hook sites hold this when sanitizing is off and guard with
+    ``if sanitizer.enabled:`` so the disabled cost is one attribute read.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.tracer = None
+        self.level = None
+        self.iteration = None
+        self.phase = None
+        self.checks_run = 0
+
+    def enter_level(self, level):
+        pass
+
+    def enter_iteration(self, iteration):
+        pass
+
+    def enter_phase(self, phase):
+        pass
+
+    def violation(self, invariant, message, *, rank=None, **context):
+        pass
+
+    def check_pack_bounds(self, t1, t2, shift, *, rank=None, table="out"):
+        pass
+
+    def check_finite(self, values, *, rank=None, what="weights"):
+        pass
+
+    def table_fingerprint(self, table):
+        return (0, 0, 0.0)
+
+    def check_table_unchanged(self, table, fingerprint, *, rank=None,
+                              table_name="in"):
+        pass
+
+    def check_epsilon(self, epsilon, iteration):
+        pass
+
+    def check_conservation(self, total, expected, *, what="community weight",
+                           rank=None, rtol=1e-6):
+        pass
+
+    def check_exchange_participation(self, outboxes, *, phase=None):
+        pass
+
+
+#: Shared no-op instance; safe because it is stateless.
+NULL_SANITIZER = NullSanitizer()
+
+
+def resolve_sanitizer(
+    sanitize: "bool | Sanitizer | None" = None, *, tracer: "Tracer | None" = None
+) -> Sanitizer:
+    """Resolve the ``sanitize=`` argument convention used across the API.
+
+    ``None`` defers to the ``REPRO_SANITIZE`` environment variable; a bool
+    forces the choice; an existing :class:`Sanitizer` (including
+    :data:`NULL_SANITIZER`) passes through unchanged.
+    """
+    if isinstance(sanitize, Sanitizer):
+        return sanitize
+    if sanitize is None:
+        sanitize = sanitize_enabled()
+    return Sanitizer(tracer=tracer) if sanitize else NULL_SANITIZER

@@ -1,14 +1,17 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five subcommands cover the library's main workflows:
+Six subcommands cover the library's main workflows:
 
 * ``detect``      -- community detection on an edge-list file (optionally
-  recording a structured trace with ``--trace`` / ``--trace-format``);
+  recording a structured trace with ``--trace`` / ``--trace-format``, or
+  running under the invariant sanitizer with ``--sanitize``);
 * ``generate``    -- write an LFR / R-MAT / BTER / proxy graph to disk;
 * ``info``        -- structural statistics of an edge-list file;
 * ``experiment``  -- regenerate one of the paper's tables/figures by id;
 * ``report``      -- render a recorded JSONL trace as convergence and
-  phase-breakdown tables (the data behind Figs. 2, 4 and 8).
+  phase-breakdown tables (the data behind Figs. 2, 4 and 8);
+* ``check``       -- run the :mod:`repro.analysis` superstep-safety linter
+  over source files or directories.
 """
 
 from __future__ import annotations
@@ -57,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
         "Chrome trace_event JSON (chrome://tracing / Perfetto), or a "
         "Prometheus text snapshot",
     )
+    detect.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the runtime invariant sanitizer (parallel/naive "
+        "only); violated invariants abort with a structured report",
+    )
 
     gen = sub.add_parser("generate", help="generate a synthetic graph")
     gen.add_argument(
@@ -103,6 +111,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--section", choices=["all", "convergence", "phases", "tables"],
         default="all", help="which table(s) to print",
     )
+
+    chk = sub.add_parser(
+        "check", help="lint source files for SPMD superstep-safety hazards"
+    )
+    chk.add_argument(
+        "paths", nargs="*", default=["src/repro/parallel"],
+        help="files or directories to lint (default: src/repro/parallel)",
+    )
+    chk.add_argument(
+        "--select", metavar="CHECKER", action="append", default=None,
+        help="run only this checker (repeatable; default: all)",
+    )
+    chk.add_argument(
+        "--list-checkers", action="store_true",
+        help="list registered checkers and exit",
+    )
     return parser
 
 
@@ -112,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_detect(args) -> int:
+    from .analysis import InvariantViolation
     from .graph import read_edge_list
     from .metrics import modularity
     from .observability import Tracer, export_trace
@@ -120,6 +145,9 @@ def _cmd_detect(args) -> int:
 
     if args.trace and args.algorithm == "lpa":
         print("--trace is not supported for lpa", file=sys.stderr)
+        return 2
+    if args.sanitize and args.algorithm not in ("parallel", "naive"):
+        print("--sanitize requires --algorithm parallel|naive", file=sys.stderr)
         return 2
 
     graph = read_edge_list(args.input)
@@ -137,10 +165,15 @@ def _cmd_detect(args) -> int:
         )
         raw = None
     else:
-        summary = detect_communities(
-            graph, algorithm=args.algorithm, num_ranks=args.ranks,
-            machine=machine, seed=args.seed, tracer=tracer,
-        )
+        try:
+            summary = detect_communities(
+                graph, algorithm=args.algorithm, num_ranks=args.ranks,
+                machine=machine, seed=args.seed, tracer=tracer,
+                sanitize=args.sanitize or None,
+            )
+        except InvariantViolation as exc:
+            print(f"invariant violation: {exc}", file=sys.stderr)
+            return 3
         membership = summary.membership
         print(
             f"{summary.algorithm}: Q={summary.modularity:.4f}, "
@@ -352,6 +385,29 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .analysis import get_checkers, run_checks
+
+    if args.list_checkers:
+        for checker in get_checkers(None):
+            print(f"{checker.name:<24s} {checker.description}")
+        return 0
+    try:
+        findings = run_checks(args.paths, select=args.select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    n_paths = len(args.paths)
+    noun = "path" if n_paths == 1 else "paths"
+    if findings:
+        print(f"{len(findings)} finding(s) in {n_paths} {noun}", file=sys.stderr)
+        return 1
+    print(f"clean: no findings in {n_paths} {noun}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -360,6 +416,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "check": _cmd_check,
     }
     try:
         return handlers[args.command](args)

@@ -22,8 +22,6 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, replace
 
-import numpy as np
-
 from .lfr import LFRGraph, LFRParams, generate_lfr
 
 __all__ = ["SocialGraphSpec", "SOCIAL_GRAPHS", "load_social_graph", "list_social_graphs"]

@@ -7,7 +7,7 @@ the qualitative claims (who wins, by roughly what factor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,12 +28,9 @@ from ..metrics import (
     compare_partitions,
     evolution_ratio,
     log_binned_size_distribution,
-    modularity_from_labels,
 )
 from ..parallel import (
-    ExponentialSchedule,
     ModuloPartition,
-    ParallelLouvainConfig,
     fit_schedule,
     naive_parallel_louvain,
     parallel_louvain,

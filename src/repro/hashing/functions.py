@@ -59,15 +59,40 @@ def pack_key(t1: np.ndarray, t2: np.ndarray, *, shift: int = 32) -> np.ndarray:
     """
     if not 1 <= shift <= 63:
         raise ValueError("shift must be in [1, 63]")
-    t1 = np.asarray(t1, dtype=np.uint64)
-    t2 = np.asarray(t2, dtype=np.uint64)
+    t1_in = np.asarray(t1)
+    t2_in = np.asarray(t2)
+    # Negative signed ids would wrap modulo 2^64 under the uint64 cast and
+    # pass the field checks as huge-but-valid values; reject them up front.
+    for name, arr in (("t1", t1_in), ("t2", t2_in)):
+        if np.issubdtype(arr.dtype, np.signedinteger) and arr.size and arr.min() < 0:
+            raise ValueError(
+                f"{name} holds negative ids (min {int(arr.min())}); "
+                "packed keys require non-negative vertex/community ids"
+            )
+    t1 = t1_in.astype(np.uint64)
+    t2 = t2_in.astype(np.uint64)
     hi_limit = np.uint64(1) << np.uint64(64 - shift)
     lo_limit = np.uint64(1) << np.uint64(shift)
     if t1.size and t1.max() >= hi_limit:
-        raise ValueError(f"t1 does not fit in {64 - shift} bits")
+        raise ValueError(
+            f"t1 does not fit in {64 - shift} bits "
+            f"(max {int(t1.max())} >= {int(hi_limit)}; shift={shift})"
+        )
     if t2.size and t2.max() >= lo_limit:
-        raise ValueError(f"t2 does not fit in {shift} bits")
-    return (t1 << np.uint64(shift)) | t2
+        raise ValueError(
+            f"t2 does not fit in {shift} bits "
+            f"(max {int(t2.max())} >= {int(lo_limit)}; shift={shift})"
+        )
+    packed = (t1 << np.uint64(shift)) | t2
+    # The all-ones word is EdgeHashTable's EMPTY sentinel; a key equal to it
+    # would vanish from the table.  Only t1 == 2^(64-shift)-1 with
+    # t2 == 2^shift-1 produces it, so the check is cheap and exact.
+    if packed.size and (packed == np.uint64(0xFFFFFFFFFFFFFFFF)).any():
+        raise ValueError(
+            "packed key collides with the EMPTY sentinel "
+            f"(t1={int(hi_limit) - 1}, t2={int(lo_limit) - 1} with shift={shift})"
+        )
+    return packed
 
 
 def unpack_key(key: np.ndarray, *, shift: int = 32) -> tuple[np.ndarray, np.ndarray]:

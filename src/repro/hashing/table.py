@@ -16,9 +16,14 @@ accumulates matches.  Probe counts are tracked for the performance model.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .functions import HashFunction, get_hash_function
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer import Sanitizer
 
 __all__ = ["EdgeHashTable", "EMPTY_KEY"]
 
@@ -44,6 +49,11 @@ class EdgeHashTable:
         fixed load factor can be measured (insertion beyond capacity raises).
     auto_grow:
         Whether to rehash when the load factor is exceeded.
+
+    The table optionally carries a :class:`~repro.analysis.Sanitizer` hook
+    (``sanitizer`` / ``owner_rank`` attributes, set by
+    :class:`~repro.parallel.tables.RankTables`): when enabled, inserts
+    verify weight finiteness and violations carry the owning rank.
     """
 
     __slots__ = (
@@ -56,6 +66,8 @@ class EdgeHashTable:
         "auto_grow",
         "probe_count",
         "insert_count",
+        "sanitizer",
+        "owner_rank",
     )
 
     def __init__(
@@ -86,6 +98,8 @@ class EdgeHashTable:
         self._count = 0
         self.probe_count = 0
         self.insert_count = 0
+        self.sanitizer: "Sanitizer | None" = None
+        self.owner_rank: int | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -202,6 +216,9 @@ class EdgeHashTable:
             raise ValueError("keys and weights must have the same length")
         if keys.size == 0:
             return
+        sanitizer = self.sanitizer
+        if sanitizer is not None and sanitizer.enabled:
+            sanitizer.check_finite(weights, rank=self.owner_rank)
         if (keys == EMPTY_KEY).any():
             raise ValueError("key collides with the EMPTY sentinel")
         uniq, inverse = np.unique(keys, return_inverse=True)

@@ -27,6 +27,9 @@ kind                 payload (``data``) fields
                      load_factor, probes_per_insert, avg_probe_length,
                      max_probe_length  (Fig. 6's raw material, per rank)
 ``counter``          value (+ free-form labels)
+``invariant``        invariant, message, rank, level, iteration, phase (+
+                     invariant-specific context; emitted by the
+                     :mod:`repro.analysis` sanitizer just before it raises)
 ===================  =========================================================
 """
 
@@ -53,10 +56,11 @@ class EventKind:
     SUPERSTEP = "superstep"
     TABLE_STATS = "table_stats"
     COUNTER = "counter"
+    INVARIANT = "invariant"
 
     ALL = frozenset({
         RUN_START, RUN_END, LEVEL_START, LEVEL_END, ITERATION,
-        SPAN_BEGIN, SPAN_END, SUPERSTEP, TABLE_STATS, COUNTER,
+        SPAN_BEGIN, SPAN_END, SUPERSTEP, TABLE_STATS, COUNTER, INVARIANT,
     })
 
 

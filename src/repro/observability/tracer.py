@@ -53,8 +53,8 @@ class Tracer:
         *,
         rank: int | None = None,
         **data: Any,
-    ) -> TraceEvent:
-        """Append one event; returns it (mainly for tests)."""
+    ) -> TraceEvent | None:
+        """Append one event; returns it (mainly for tests, None when no-op)."""
         ev = TraceEvent(
             seq=self._seq, ts=self._now(), kind=kind, name=name,
             rank=rank, data=data,
@@ -203,7 +203,7 @@ class NullTracer(Tracer):
         self.counters = {}
         self._span_stack = []
 
-    def emit(self, kind, name, *, rank=None, **data):  # type: ignore[override]
+    def emit(self, kind, name, *, rank=None, **data):
         return None  # pragma: no cover - trivial
 
     def begin_span(self, name, *, rank=None):

@@ -12,6 +12,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..analysis.sanitizer import Sanitizer
 from ..graph import Graph
 from ..metrics import community_sizes, modularity_from_labels
 from ..observability.events import TraceEvent
@@ -64,6 +65,7 @@ def detect_communities(
     seed: int | None = 0,
     tracer: Tracer | None = None,
     trace_path: str | None = None,
+    sanitize: bool | Sanitizer | None = None,
     **config_overrides,
 ) -> DetectionSummary:
     """Detect communities and summarize the outcome.
@@ -89,6 +91,12 @@ def detect_communities(
     trace_path:
         Write the captured events as JSONL here (creates a tracer if none
         was passed); recorded on ``summary.trace_path``.
+    sanitize:
+        Enable the :mod:`repro.analysis` runtime invariant sanitizer for the
+        parallel variants (``True``/``False``, a
+        :class:`~repro.analysis.Sanitizer` instance, or ``None`` to defer to
+        the ``REPRO_SANITIZE`` environment variable).  A violated invariant
+        raises :class:`~repro.analysis.InvariantViolation`.
     config_overrides:
         Extra :class:`ParallelLouvainConfig` fields (``max_inner`` etc.).
     """
@@ -100,6 +108,8 @@ def detect_communities(
             raise TypeError(
                 f"unsupported options for sequential: {sorted(config_overrides)}"
             )
+        if sanitize not in (None, False):
+            raise TypeError("sanitize is only supported for the parallel variants")
         res = _sequential_louvain(graph, seed=seed, tracer=tracer)
         summary = DetectionSummary(
             algorithm="sequential",
@@ -121,10 +131,10 @@ def detect_communities(
     )
     if algorithm == "naive":
         result: ParallelLouvainResult = naive_parallel_louvain(
-            graph, cfg, tracer=tracer
+            graph, cfg, tracer=tracer, sanitize=sanitize
         )
     else:
-        result = parallel_louvain(graph, cfg, tracer=tracer)
+        result = parallel_louvain(graph, cfg, tracer=tracer, sanitize=sanitize)
 
     summary = DetectionSummary(
         algorithm=algorithm,

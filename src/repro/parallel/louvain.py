@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.sanitizer import Sanitizer
 from ..graph import Graph
 from ..observability.tracer import NULL_TRACER, Tracer
 from ..runtime import Simulation
@@ -372,6 +373,8 @@ def _compute_threshold(
     if schedule is None:
         return 1.0, 0.0, candidates  # naive: every positive gain moves
     eps = schedule.epsilon(iteration)
+    if sim.sanitizer.enabled:
+        sim.sanitizer.check_epsilon(eps, iteration)
     target = int(math.ceil(eps * num_vertices))
     dq_hat = threshold_from_histogram(global_hist, target, HISTOGRAM_EDGES)
     return eps, dq_hat, candidates
@@ -515,6 +518,8 @@ def _reconstruct(
             hash_function=config.hash_function,
             load_factor=config.load_factor,
             key_shift=config.key_shift,
+            sanitizer=sim.sanitizer,
+            rank=rank,
         )
         before = tables.in_table.probe_count
         tables.add_in_edges(
@@ -630,6 +635,7 @@ def parallel_louvain(
     *,
     initial_membership: np.ndarray | None = None,
     tracer: Tracer | None = None,
+    sanitize: bool | Sanitizer | None = None,
     **kwargs,
 ) -> ParallelLouvainResult:
     """Run the full parallel Louvain algorithm (Algorithm 2).
@@ -648,6 +654,15 @@ def parallel_louvain(
     events, phase spans, per-superstep comm volumes, hash-table snapshots);
     see :mod:`repro.observability`.  Without one, a shared no-op tracer is
     used and the only cost is a handful of attribute checks.
+
+    ``sanitize`` enables the runtime invariant contracts of
+    :mod:`repro.analysis` (``True``/``False``, an explicit
+    :class:`~repro.analysis.Sanitizer`, or ``None`` to defer to the
+    ``REPRO_SANITIZE`` environment variable): key-packing bounds,
+    per-level In_Table immutability, Σ_tot and edge-weight conservation,
+    Eq.-7 epsilon bounds and per-superstep rank participation, each raising
+    :class:`~repro.analysis.InvariantViolation` with the offending
+    rank/level/iteration on failure.
     """
     if config is None:
         config = ParallelLouvainConfig(**kwargs)
@@ -656,8 +671,10 @@ def parallel_louvain(
     tracer = tracer if tracer is not None else NULL_TRACER
 
     sim = Simulation.create(
-        config.num_ranks, reorder_seed=config.reorder_seed, tracer=tracer
+        config.num_ranks, reorder_seed=config.reorder_seed, tracer=tracer,
+        sanitize=sanitize,
     )
+    san = sim.sanitizer
     partition = ModuloPartition(graph.num_vertices, config.num_ranks)
     tables = build_in_tables(
         graph,
@@ -665,6 +682,7 @@ def parallel_louvain(
         hash_function=config.hash_function,
         load_factor=config.load_factor,
         key_shift=config.key_shift,
+        sanitizer=san,
     )
     ranks = [_RankState(r, partition, tables[r]) for r in range(config.num_ranks)]
     if tracer.enabled:
@@ -701,6 +719,14 @@ def parallel_louvain(
             tracer.level_start(level, num_vertices=n_level)
             for st in ranks:
                 tracer.table_stats(level, st.rank, "in", st.tables.in_table.stats())
+        if san.enabled:
+            # In_Table contents are this level's graph; REFINE must not
+            # touch them (paper §IV-A).  Fingerprint now, re-check per
+            # iteration.
+            san.enter_level(level)
+            in_fingerprints = [
+                san.table_fingerprint(st.tables.in_table) for st in ranks
+            ]
         level_before = _snapshot(sim)
         with sim.phase("STATE_PROPAGATION"):
             _state_propagation(sim, partition, ranks)
@@ -711,6 +737,8 @@ def parallel_louvain(
         q = prev_q
         with sim.phase("REFINE"):
             for iteration in range(1, config.max_inner + 1):
+                if san.enabled:
+                    san.enter_iteration(iteration)
                 before = _snapshot(sim)
                 with sim.phase("FIND_BEST"):
                     best_gain, best_comm = _find_best(
@@ -732,6 +760,18 @@ def parallel_louvain(
                     q = _compute_modularity(
                         sim, partition, ranks, m, config.resolution
                     )
+                if san.enabled:
+                    # UPDATE ships (-k, +k) delta pairs, so the global
+                    # Σ_tot over community owners must stay exactly 2m.
+                    san.check_conservation(
+                        sum(float(st.tot.sum()) for st in ranks),
+                        2.0 * m,
+                        what="sigma_tot",
+                    )
+                    for st, fp in zip(ranks, in_fingerprints):
+                        san.check_table_unchanged(
+                            st.tables.in_table, fp, rank=st.rank
+                        )
                 iter_stats.append(
                     InnerIterationStats(
                         iteration=iteration,
@@ -763,8 +803,20 @@ def parallel_louvain(
             break
 
         level_entries = int(sum(len(st.tables.in_table) for st in ranks))
+        if san.enabled:
+            weight_before = sum(
+                float(st.tables.in_table.items()[1].sum()) for st in ranks
+            )
         with sim.phase("GRAPH_RECONSTRUCTION"):
             ranks, new_partition, labels = _reconstruct(sim, partition, ranks, config)
+        if san.enabled:
+            # Contraction reroutes every adjacency entry to a supervertex
+            # owner; no weight may be created or dropped (Algorithm 5).
+            san.check_conservation(
+                sum(float(st.tables.in_table.items()[1].sum()) for st in ranks),
+                weight_before,
+                what="total edge weight across RECONSTRUCTION",
+            )
 
         result.level_labels.append(labels)
         result.modularities.append(q)

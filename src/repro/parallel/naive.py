@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from ..analysis.sanitizer import Sanitizer
 from ..graph import Graph
 from ..observability.tracer import Tracer
 from .louvain import ParallelLouvainConfig, ParallelLouvainResult, parallel_louvain
@@ -24,6 +25,7 @@ def naive_parallel_louvain(
     config: ParallelLouvainConfig | None = None,
     *,
     tracer: Tracer | None = None,
+    sanitize: bool | Sanitizer | None = None,
     **kwargs,
 ) -> ParallelLouvainResult:
     """Run parallel Louvain with the convergence heuristic disabled."""
@@ -33,4 +35,4 @@ def naive_parallel_louvain(
     elif kwargs:
         raise TypeError("pass either config or keyword overrides, not both")
     config = replace(config, schedule=None)
-    return parallel_louvain(graph, config, tracer=tracer)
+    return parallel_louvain(graph, config, tracer=tracer, sanitize=sanitize)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitizer import NULL_SANITIZER, Sanitizer
 from ..graph import Graph
 from ..hashing import EdgeHashTable, pack_key, unpack_key
 from .partition import ModuloPartition
@@ -24,9 +25,24 @@ __all__ = ["RankTables", "build_in_tables"]
 
 
 class RankTables:
-    """The pair of edge hash tables owned by one rank."""
+    """The pair of edge hash tables owned by one rank.
 
-    __slots__ = ("in_table", "out_table", "key_shift", "load_factor", "hash_function")
+    ``sanitizer`` / ``rank`` attach the opt-in invariant contract: every
+    insert first proves the ids fit their Eq.-5 bit fields (and cannot
+    collide with the EMPTY sentinel), so a violation raises a structured
+    :class:`~repro.analysis.InvariantViolation` naming this rank instead of
+    silently corrupting edge identity.
+    """
+
+    __slots__ = (
+        "in_table",
+        "out_table",
+        "key_shift",
+        "load_factor",
+        "hash_function",
+        "sanitizer",
+        "rank",
+    )
 
     def __init__(
         self,
@@ -35,17 +51,25 @@ class RankTables:
         hash_function: str = "fibonacci",
         load_factor: float = 0.25,
         key_shift: int = 32,
+        sanitizer: Sanitizer | None = None,
+        rank: int | None = None,
     ) -> None:
         capacity = max(16, int(expected_in_edges / max(load_factor, 1e-6)))
         self.key_shift = int(key_shift)
         self.load_factor = float(load_factor)
         self.hash_function = hash_function
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
+        self.rank = rank
         self.in_table = EdgeHashTable(
             capacity, hash_function=hash_function, max_load_factor=load_factor
         )
         self.out_table = EdgeHashTable(
             capacity, hash_function=hash_function, max_load_factor=load_factor
         )
+        if self.sanitizer.enabled:
+            for table in (self.in_table, self.out_table):
+                table.sanitizer = self.sanitizer
+                table.owner_rank = rank
 
     # ------------------------------------------------------------------ #
     # In_Table
@@ -59,6 +83,10 @@ class RankTables:
 
     def add_in_edges(self, v: np.ndarray, u: np.ndarray, w: np.ndarray) -> None:
         """Accumulate in-edges ``(v → u)`` (used by graph reconstruction)."""
+        if self.sanitizer.enabled:
+            self.sanitizer.check_pack_bounds(
+                v, u, self.key_shift, rank=self.rank, table="in"
+            )
         keys = pack_key(
             np.asarray(v, dtype=np.uint64),
             np.asarray(u, dtype=np.uint64),
@@ -81,6 +109,10 @@ class RankTables:
 
     def accumulate_out(self, u: np.ndarray, c: np.ndarray, w: np.ndarray) -> None:
         """Hash received ``((u, c), w)`` records into the Out_Table."""
+        if self.sanitizer.enabled:
+            self.sanitizer.check_pack_bounds(
+                u, c, self.key_shift, rank=self.rank, table="out"
+            )
         keys = pack_key(
             np.asarray(u, dtype=np.uint64),
             np.asarray(c, dtype=np.uint64),
@@ -99,6 +131,7 @@ def build_in_tables(
     hash_function: str = "fibonacci",
     load_factor: float = 0.25,
     key_shift: int = 32,
+    sanitizer: Sanitizer | None = None,
 ) -> list[RankTables]:
     """Distribute a graph's adjacency entries into per-rank In_Tables.
 
@@ -118,6 +151,8 @@ def build_in_tables(
             hash_function=hash_function,
             load_factor=load_factor,
             key_shift=key_shift,
+            sanitizer=sanitizer,
+            rank=rank,
         )
         rt.add_in_edges(rows[mask], cols[mask], weights[mask])
         tables.append(rt)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.sanitizer import NULL_SANITIZER, Sanitizer
 from .profiler import PhaseProfiler
 
 __all__ = ["ExchangeResult", "MessageBus"]
@@ -56,6 +57,10 @@ class MessageBus:
         messaging layer gives no intra-superstep ordering guarantees, so the
         algorithm must be insensitive to delivery order; tests enable this to
         prove it (failure-injection mode).
+    sanitizer:
+        Optional :class:`~repro.analysis.Sanitizer`; when enabled, every
+        exchange verifies barrier discipline (each rank participates in each
+        superstep) before delivering.
     """
 
     def __init__(
@@ -64,12 +69,14 @@ class MessageBus:
         profiler: PhaseProfiler | None = None,
         *,
         reorder_rng: np.random.Generator | None = None,
+        sanitizer: Sanitizer | None = None,
     ) -> None:
         if num_ranks < 1:
             raise ValueError("need at least one rank")
         self.num_ranks = int(num_ranks)
         self.profiler = profiler
         self.reorder_rng = reorder_rng
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
 
     # -------------------------------------------------------------- #
 
@@ -85,6 +92,12 @@ class MessageBus:
         """
         if len(outboxes) != self.num_ranks:
             raise ValueError("one outbox per rank required")
+        sanitizer = self.sanitizer
+        if sanitizer.enabled:
+            phase = (
+                self.profiler.current_phase if self.profiler is not None else None
+            )
+            sanitizer.check_exchange_participation(outboxes, phase=phase)
         arity = None
         for box in outboxes:
             if box is not None and len(box) >= 2:

@@ -12,11 +12,12 @@ other's state outside the bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..analysis.sanitizer import NULL_SANITIZER, Sanitizer, resolve_sanitizer
 from .comm import MessageBus
 from .profiler import PhaseProfiler
 
@@ -34,6 +35,7 @@ class Simulation:
     bus: MessageBus
     profiler: PhaseProfiler
     tracer: "Tracer | None" = None
+    sanitizer: Sanitizer = field(default=NULL_SANITIZER)
 
     @staticmethod
     def create(
@@ -41,6 +43,7 @@ class Simulation:
         *,
         reorder_seed: int | None = None,
         tracer: "Tracer | None" = None,
+        sanitize: "bool | Sanitizer | None" = False,
     ) -> "Simulation":
         """Build a simulation.
 
@@ -49,14 +52,20 @@ class Simulation:
         superstep-synchronous algorithm must tolerate.  ``tracer`` attaches a
         :class:`~repro.observability.Tracer`: the profiler mirrors phases as
         spans and the bus emits per-superstep comm events into it.
+        ``sanitize`` attaches a :class:`~repro.analysis.Sanitizer` (pass
+        ``True``, an instance, or ``None`` to defer to ``REPRO_SANITIZE``);
+        the bus then checks superstep participation and the algorithms run
+        their invariant contracts against it.
         """
         if num_ranks < 1:
             raise ValueError("need at least one rank")
+        sanitizer = resolve_sanitizer(sanitize, tracer=tracer)
         profiler = PhaseProfiler(num_ranks, tracer=tracer)
         rng = np.random.default_rng(reorder_seed) if reorder_seed is not None else None
-        bus = MessageBus(num_ranks, profiler, reorder_rng=rng)
+        bus = MessageBus(num_ranks, profiler, reorder_rng=rng, sanitizer=sanitizer)
         return Simulation(
-            num_ranks=num_ranks, bus=bus, profiler=profiler, tracer=tracer
+            num_ranks=num_ranks, bus=bus, profiler=profiler, tracer=tracer,
+            sanitizer=sanitizer,
         )
 
     def phase(self, name: str):

@@ -25,8 +25,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-import numpy as np
-
 from .profiler import PhaseCounters, PhaseProfiler
 
 __all__ = ["MachineModel", "P7IH", "BGQ", "model_phase_time", "model_times", "total_time"]

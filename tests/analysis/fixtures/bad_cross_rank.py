@@ -1,0 +1,23 @@
+"""Known-bad kernel: reads and writes another rank's state directly."""
+
+
+def leaky_refine(ranks, partition):
+    for st in ranks:
+        # BAD: peeks at the neighbouring rank's community array instead of
+        # fetching it through the bus.
+        other = ranks[(st.rank + 1) % len(ranks)]
+        st.community[0] = other.community[0]
+
+
+def all_pairs_gather(ranks):
+    for st in ranks:
+        # BAD: nested sweep over every rank's state.
+        for peer in ranks:
+            st.tot += peer.tot.sum()
+
+
+def comprehension_gather(ranks):
+    for st in ranks:
+        # BAD: gathers remote state without an allgather collective.
+        totals = [peer.tot.sum() for peer in ranks]
+        st.tot[0] = sum(totals)

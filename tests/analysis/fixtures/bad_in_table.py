@@ -1,0 +1,18 @@
+"""Known-bad kernel: mutates In_Table inside the REFINE loop."""
+
+
+def refine_with_in_table_writeback(ranks, max_inner):
+    for _ in range(max_inner):
+        for st in ranks:
+            u, c, w = st.tables.out_entries()
+            # BAD: In_Table is the level's immutable graph structure; writing
+            # REFINE results back into it corrupts every later iteration.
+            st.tables.add_in_edges(u, c, w)
+
+
+def refine_with_direct_clear(ranks):
+    for st in ranks:
+        best = st.lookup_tot(st.community)
+        # BAD: clears In_Table mid-level.
+        st.tables.in_table.clear()
+        st.tot[:] = best

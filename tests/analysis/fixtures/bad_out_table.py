@@ -1,0 +1,9 @@
+"""Known-bad kernel: accumulates into Out_Table without resetting it."""
+
+
+def propagate_without_reset(ranks, result):
+    for st in ranks:
+        u_in, c_in, w_in = result.inbox(st.rank)
+        # BAD: no reset_out_table() first -- the second iteration through
+        # this loop double-counts every w_{u->c} from the first.
+        st.tables.accumulate_out(u_in, c_in, w_in)

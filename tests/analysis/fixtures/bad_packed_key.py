@@ -1,0 +1,17 @@
+"""Known-bad kernel: does ordinary arithmetic on packed Eq.-5 keys."""
+
+from repro.hashing import pack_key
+
+
+def shift_vertex_ids(v, u):
+    keys = pack_key(v, u)
+    # BAD: adding 1 to a packed key increments the low bit field and can
+    # carry into the high field, silently changing the *other* tuple element.
+    renamed = keys + 1
+    return renamed
+
+
+def rescale_keys(v, u, factor):
+    keys = pack_key(v, u)
+    keys *= factor  # BAD: multiplication scrambles both bit fields.
+    return keys

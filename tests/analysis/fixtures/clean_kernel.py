@@ -1,0 +1,28 @@
+"""Known-good kernel: the disciplined shape of a STATE PROPAGATION phase.
+
+Every rule the bad fixtures break is respected here: cross-rank flow goes
+through the bus, Out_Table is reset before accumulation, In_Table is only
+read, and packed keys are unpacked before any id arithmetic.
+"""
+
+from repro.hashing import pack_key, unpack_key
+
+
+def state_propagation(sim, partition, ranks):
+    bus = sim.bus
+    outboxes = []
+    for st in ranks:
+        v, u, w = st.tables.in_edges()
+        c = st.community[partition.to_local(u)]
+        outboxes.append((partition.owner(v), v, c, w))
+    result = bus.exchange(outboxes)
+    for st in ranks:
+        u_in, c_in, w_in = result.inbox(st.rank)
+        st.tables.reset_out_table()
+        st.tables.accumulate_out(u_in, c_in, w_in)
+
+
+def renumber_keys(v, u, offset):
+    keys = pack_key(v, u)
+    t1, t2 = unpack_key(keys)
+    return pack_key(t1 + offset, t2 + offset)

@@ -1,0 +1,94 @@
+"""Tests for `repro check` and `repro detect --sanitize`."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PARALLEL_SRC = Path(__file__).parents[2] / "src" / "repro" / "parallel"
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "g.txt"
+    rc = main([
+        "generate", "lfr", "--vertices", "200", "--avg-degree", "8",
+        "--max-degree", "20", "--mixing", "0.15",
+        "--output", str(path), "--seed", "7",
+    ])
+    assert rc == 0
+    return path
+
+
+class TestCheckCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.paths == ["src/repro/parallel"]
+        assert args.select is None
+
+    def test_clean_tree_exits_zero(self, capsys):
+        rc = main(["check", str(PARALLEL_SRC)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_fixtures_exit_one(self, capsys):
+        rc = main(["check", str(FIXTURES)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "spmd-cross-rank" in out
+        assert "in-table-mutation" in out
+        assert "out-table-reuse" in out
+        assert "packed-key-arithmetic" in out
+
+    def test_findings_are_path_line_col_formatted(self, capsys):
+        rc = main(["check", str(FIXTURES / "bad_out_table.py")])
+        assert rc == 1
+        line = capsys.readouterr().out.splitlines()[0]
+        assert "bad_out_table.py:9:" in line
+        assert "[out-table-reuse]" in line
+
+    def test_select_restricts_checkers(self, capsys):
+        rc = main([
+            "check", str(FIXTURES), "--select", "packed-key-arithmetic",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "packed-key-arithmetic" in out
+        assert "spmd-cross-rank" not in out
+
+    def test_unknown_checker_exits_two(self, capsys):
+        rc = main(["check", str(FIXTURES), "--select", "bogus"])
+        assert rc == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        rc = main(["check", "no/such/dir"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_list_checkers(self, capsys):
+        rc = main(["check", "--list-checkers"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spmd-cross-rank" in out
+        assert "MessageBus" in out  # descriptions are shown
+
+
+class TestDetectSanitize:
+    def test_parallel_with_sanitize(self, edge_file, capsys):
+        rc = main([
+            "detect", str(edge_file), "--algorithm", "parallel",
+            "--ranks", "2", "--sanitize",
+        ])
+        assert rc == 0
+        assert "parallel: Q=" in capsys.readouterr().out
+
+    def test_sequential_with_sanitize_rejected(self, edge_file, capsys):
+        rc = main([
+            "detect", str(edge_file), "--algorithm", "sequential",
+            "--sanitize",
+        ])
+        assert rc == 2
+        assert "--sanitize" in capsys.readouterr().err

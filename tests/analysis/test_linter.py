@@ -1,0 +1,148 @@
+"""Tests for the SPMD superstep-safety linter (repro.analysis)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CHECKERS,
+    CheckerBase,
+    Finding,
+    check_file,
+    format_findings,
+    get_checkers,
+    iter_python_files,
+    register_checker,
+    run_checks,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def findings_for(name: str, select=None):
+    return check_file(FIXTURES / name, get_checkers(select))
+
+
+class TestRegistry:
+    def test_builtin_checkers_registered(self):
+        assert {
+            "spmd-cross-rank",
+            "in-table-mutation",
+            "out-table-reuse",
+            "packed-key-arithmetic",
+        } <= set(CHECKERS)
+
+    def test_get_checkers_select(self):
+        chosen = get_checkers(["spmd-cross-rank"])
+        assert [c.name for c in chosen] == ["spmd-cross-rank"]
+
+    def test_get_checkers_unknown_raises(self):
+        with pytest.raises(ValueError, match="no-such-checker"):
+            get_checkers(["no-such-checker"])
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_checker
+            class Dup(CheckerBase):  # noqa: F811 - intentionally clashing
+                name = "spmd-cross-rank"
+                description = "dup"
+
+                def check(self, tree, path):
+                    return []
+
+    def test_unnamed_checker_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+
+            @register_checker
+            class NoName(CheckerBase):
+                description = "nameless"
+
+                def check(self, tree, path):
+                    return []
+
+
+class TestFixturesFire:
+    """Each checker must flag its known-bad kernel at the expected lines."""
+
+    def test_cross_rank_fixture(self):
+        found = findings_for("bad_cross_rank.py", ["spmd-cross-rank"])
+        assert [f.line for f in found] == [8, 15, 22]
+        assert all(f.checker == "spmd-cross-rank" for f in found)
+
+    def test_in_table_fixture(self):
+        found = findings_for("bad_in_table.py", ["in-table-mutation"])
+        assert [f.line for f in found] == [10, 17]
+
+    def test_out_table_fixture(self):
+        found = findings_for("bad_out_table.py", ["out-table-reuse"])
+        assert [f.line for f in found] == [9]
+
+    def test_packed_key_fixture(self):
+        found = findings_for("bad_packed_key.py", ["packed-key-arithmetic"])
+        assert [f.line for f in found] == [10, 16]
+
+    def test_clean_kernel_has_no_findings(self):
+        assert findings_for("clean_kernel.py") == []
+
+    def test_findings_are_deduplicated(self):
+        found = findings_for("bad_cross_rank.py")
+        assert len(found) == len(set(found))
+
+
+class TestShippedCodeClean:
+    def test_parallel_package_clean(self):
+        assert run_checks([SRC / "parallel"]) == []
+
+    def test_whole_src_tree_clean(self):
+        assert run_checks([SRC]) == []
+
+
+class TestDriver:
+    def test_iter_python_files_sorted(self):
+        files = list(iter_python_files([FIXTURES]))
+        assert files == sorted(files)
+        assert all(p.suffix == ".py" for p in files)
+
+    def test_single_file_path_accepted(self):
+        files = list(iter_python_files([FIXTURES / "bad_out_table.py"]))
+        assert len(files) == 1
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([FIXTURES / "does_not_exist"]))
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        found = check_file(bad, get_checkers(None))
+        assert len(found) == 1
+        assert found[0].checker == "parse-error"
+
+    def test_run_checks_sorts_across_files(self):
+        found = run_checks([FIXTURES])
+        assert found == sorted(found)
+        assert len(found) == 8
+
+    def test_select_filters_run_checks(self):
+        found = run_checks([FIXTURES], select=["out-table-reuse"])
+        assert {f.checker for f in found} == {"out-table-reuse"}
+
+
+class TestFinding:
+    def test_format(self):
+        f = Finding(
+            path="a.py", line=3, col=7, checker="x", message="boom"
+        )
+        assert f.format() == "a.py:3:7: [x] boom"
+
+    def test_to_dict_roundtrip(self):
+        f = Finding(path="a.py", line=1, col=1, checker="c", message="m")
+        assert f.to_dict()["checker"] == "c"
+
+    def test_format_findings_sorted_block(self):
+        a = Finding(path="b.py", line=1, col=1, checker="c", message="m")
+        b = Finding(path="a.py", line=9, col=1, checker="c", message="m")
+        out = format_findings([a, b])
+        assert out.splitlines()[0].startswith("a.py")

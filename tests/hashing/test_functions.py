@@ -50,6 +50,41 @@ class TestPackKey:
         with pytest.raises(ValueError):
             pack_key(np.array([0], dtype=np.uint64), np.array([0], dtype=np.uint64), shift=0)
 
+    def test_negative_ids_raise(self):
+        with pytest.raises(ValueError, match="negative ids"):
+            pack_key(np.array([-1], dtype=np.int64), np.array([0], dtype=np.int64))
+        with pytest.raises(ValueError, match="t2 holds negative"):
+            pack_key(np.array([3], dtype=np.int64), np.array([-7], dtype=np.int64))
+
+    def test_negative_error_names_offender(self):
+        with pytest.raises(ValueError, match=r"min -9"):
+            pack_key(np.array([-9, 2], dtype=np.int64), np.array([0, 0], dtype=np.int64))
+
+    def test_empty_sentinel_collision_raises(self):
+        t1 = np.array([(1 << 32) - 1], dtype=np.uint64)
+        t2 = np.array([(1 << 32) - 1], dtype=np.uint64)
+        with pytest.raises(ValueError, match="EMPTY sentinel"):
+            pack_key(t1, t2)
+        # One bit below the sentinel is a legal key.
+        ok = pack_key(t1, t2 - np.uint64(1))
+        assert int(ok[0]) == 0xFFFFFFFFFFFFFFFE
+
+    def test_empty_sentinel_collision_shift16(self):
+        with pytest.raises(ValueError, match="EMPTY sentinel"):
+            pack_key(
+                np.array([(1 << 48) - 1], dtype=np.uint64),
+                np.array([(1 << 16) - 1], dtype=np.uint64),
+                shift=16,
+            )
+
+    def test_overflow_message_reports_values(self):
+        with pytest.raises(ValueError, match=r"max 65536 >= 65536.*shift=16"):
+            pack_key(
+                np.array([0], dtype=np.uint64),
+                np.array([1 << 16], dtype=np.uint64),
+                shift=16,
+            )
+
     def test_injective(self):
         rng = np.random.default_rng(1)
         t1 = rng.integers(0, 5000, 20000).astype(np.uint64)
