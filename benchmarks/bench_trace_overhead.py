@@ -1,15 +1,18 @@
-"""Tracing-disabled overhead budget on the parallel hot path.
+"""Tracing overhead budgets on the parallel hot path.
 
 The observability contract is that a *disabled* tracer costs almost nothing:
 instrumented call sites hold the shared ``NULL_TRACER`` and guard payload
-construction behind one ``tracer.enabled`` attribute read.  This benchmark
-enforces the budget two ways:
+construction behind one ``tracer.enabled`` attribute read.  The streaming
+sink extends the same budget to *enabled* runs that write JSONL as they go:
+per-event serialization + write + flush must also stay < 5% of the run.
+This benchmark enforces both budgets the same way:
 
-1. **Measured bound** -- the per-hook disabled cost (attribute check + no-op
-   call, timed in a tight loop) multiplied by the number of hook executions a
-   real run performs (counted from an enabled run's event stream) must be
-   < 5% of the disabled run's wall time.  This is robust to machine noise
-   because the no-op cost is measured directly rather than inferred from the
+1. **Measured bound** -- the per-hook cost (disabled: attribute check +
+   no-op call; streaming: one ``JsonlWriterSink.write``), timed in a tight
+   loop, multiplied by the number of hook executions a real run performs
+   (counted from an enabled run's event stream) must be < 5% of the
+   baseline run's wall time.  This is robust to machine noise because the
+   per-hook cost is measured directly rather than inferred from the
    difference of two noisy run timings.
 2. **Sanity** -- an enabled run must actually produce events, and the
    disabled run must produce none.
@@ -17,10 +20,12 @@ enforces the budget two ways:
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 
 from repro.generators import LFRParams, generate_lfr
-from repro.observability import Tracer
+from repro.observability import JsonlWriterSink, Tracer
 from repro.observability.tracer import NULL_TRACER
 from repro.parallel import parallel_louvain
 
@@ -75,6 +80,48 @@ def test_disabled_tracer_overhead_under_5_percent():
     assert fraction < 0.05, (
         f"disabled tracing costs {fraction:.2%} of the parallel run "
         f"(budget 5%)"
+    )
+
+
+def test_streaming_sink_overhead_under_5_percent():
+    """The streamed-trace budget: serializing + writing + flushing every
+    event as it is emitted must cost < 5% of the (untraced) run."""
+    graph = generate_lfr(
+        LFRParams(num_vertices=400, avg_degree=10, max_degree=40, mixing=0.2),
+        seed=1,
+    ).graph
+
+    run_seconds = _best_of(lambda: parallel_louvain(graph, num_ranks=4))
+
+    # The events a streamed run writes (captured buffered, replayed below).
+    tracer = Tracer()
+    parallel_louvain(graph, num_ranks=4, tracer=tracer)
+    events = tracer.events
+    assert events, "enabled run must emit events"
+
+    # Per-event streaming cost: replay the run's real event mix through the
+    # sink (flush_every=1, the live-follow configuration) in a tight loop.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "stream.jsonl")
+        repeats = max(1, 20_000 // len(events))
+        sink = JsonlWriterSink(path)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            for ev in events:
+                sink.write(ev)
+        elapsed = time.perf_counter() - t0
+        sink.close()
+        per_event = elapsed / (repeats * len(events))
+
+    overhead = len(events) * per_event
+    fraction = overhead / run_seconds
+    print(
+        f"\nstreaming-sink overhead: {overhead * 1e6:.1f}us over "
+        f"{run_seconds * 1e3:.1f}ms run "
+        f"({len(events)} events x {per_event * 1e6:.2f}us) = {fraction:.4%}"
+    )
+    assert fraction < 0.05, (
+        f"streaming trace costs {fraction:.2%} of the parallel run (budget 5%)"
     )
 
 

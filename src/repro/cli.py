@@ -1,15 +1,19 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six subcommands cover the library's main workflows:
+Seven subcommands cover the library's main workflows:
 
 * ``detect``      -- community detection on an edge-list file (optionally
-  recording a structured trace with ``--trace`` / ``--trace-format``, or
-  running under the invariant sanitizer with ``--sanitize``);
+  recording a structured trace with ``--trace`` / ``--trace-format`` --
+  JSONL traces stream to disk incrementally -- or running under the
+  invariant sanitizer with ``--sanitize``);
 * ``generate``    -- write an LFR / R-MAT / BTER / proxy graph to disk;
 * ``info``        -- structural statistics of an edge-list file;
 * ``experiment``  -- regenerate one of the paper's tables/figures by id;
 * ``report``      -- render a recorded JSONL trace as convergence and
   phase-breakdown tables (the data behind Figs. 2, 4 and 8);
+* ``trace``       -- the golden-trace regression gate (``record`` /
+  ``compare`` over the checked-in goldens) plus ``tail`` for live
+  monitoring of a streaming trace;
 * ``check``       -- run the :mod:`repro.analysis` superstep-safety linter
   over source files or directories.
 """
@@ -112,6 +116,75 @@ def build_parser() -> argparse.ArgumentParser:
         default="all", help="which table(s) to print",
     )
 
+    trc = sub.add_parser(
+        "trace",
+        help="golden-trace regression gate + live trace monitoring",
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+
+    trc_rec = trc_sub.add_parser(
+        "record", help="record golden traces for the gated benchmarks"
+    )
+    trc_rec.add_argument(
+        "names", nargs="*",
+        help="benchmark names (default: all registered benchmarks)",
+    )
+    trc_rec.add_argument(
+        "--dir", default=None, dest="golden_dir", metavar="DIR",
+        help="golden directory (default: benchmarks/goldens)",
+    )
+
+    trc_cmp = trc_sub.add_parser(
+        "compare",
+        help="re-run the gated benchmarks and diff against the goldens "
+        "(non-zero exit on drift)",
+    )
+    trc_cmp.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    trc_cmp.add_argument(
+        "--dir", default=None, dest="golden_dir", metavar="DIR",
+        help="golden directory (default: benchmarks/goldens)",
+    )
+    trc_cmp.add_argument(
+        "--perturb-p1", type=float, default=1.0, metavar="FACTOR",
+        help="self-test knob: multiply the Eq.-7 schedule's p1 by FACTOR "
+        "for the current run (the gate must then report drift)",
+    )
+    trc_cmp.add_argument(
+        "--iterations-tol", type=int, default=None, metavar="N",
+        help="allowed per-level iteration-count drift (default 0)",
+    )
+    trc_cmp.add_argument(
+        "--movers-tol", type=float, default=None, metavar="FRAC",
+        help="allowed relative per-iteration mover-count drift (default 0.02)",
+    )
+    trc_cmp.add_argument(
+        "--modularity-tol", type=float, default=None, metavar="ABS",
+        help="allowed absolute modularity drift (default 1e-6)",
+    )
+    trc_cmp.add_argument(
+        "--records-tol", type=float, default=None, metavar="FRAC",
+        help="allowed relative superstep record/byte drift (default 0.02)",
+    )
+
+    trc_sub.add_parser("list", help="list the registered golden benchmarks")
+
+    trc_tail = trc_sub.add_parser(
+        "tail", help="print a JSONL trace event-per-line (optionally live)"
+    )
+    trc_tail.add_argument("path", help="JSONL trace (may still be being written)")
+    trc_tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling for new events until run_end (tail -f style)",
+    )
+    trc_tail.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="poll interval in follow mode",
+    )
+    trc_tail.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up after this long with no run_end (follow mode)",
+    )
+
     chk = sub.add_parser(
         "check", help="lint source files for SPMD superstep-safety hazards"
     )
@@ -139,7 +212,7 @@ def _cmd_detect(args) -> int:
     from .analysis import InvariantViolation
     from .graph import read_edge_list
     from .metrics import modularity
-    from .observability import Tracer, export_trace
+    from .observability import JsonlWriterSink, Tracer, export_trace
     from .parallel import build_dendrogram, detect_communities, label_propagation
     from .runtime import BGQ, P7IH
 
@@ -153,7 +226,18 @@ def _cmd_detect(args) -> int:
     graph = read_edge_list(args.input)
     print(f"loaded {graph.num_vertices} vertices / {graph.num_edges} edges")
     machine = {"p7ih": P7IH, "bgq": BGQ, None: None}[args.machine]
-    tracer = Tracer() if args.trace else None
+    # JSONL traces stream to disk as events are emitted (O(1) events in
+    # memory; the file can be followed live with `repro trace tail -f`).
+    # Chrome/Prometheus exports are whole-stream projections, so those
+    # buffer and export at the end.
+    sink = None
+    tracer = None
+    if args.trace:
+        if args.trace_format == "jsonl":
+            sink = JsonlWriterSink(args.trace)
+            tracer = Tracer(sink=sink, buffer=False)
+        else:
+            tracer = Tracer()
     t0 = time.perf_counter()
     if args.algorithm == "lpa":
         res = label_propagation(graph, num_ranks=args.ranks, seed=args.seed)
@@ -172,6 +256,8 @@ def _cmd_detect(args) -> int:
                 sanitize=args.sanitize or None,
             )
         except InvariantViolation as exc:
+            if tracer is not None:
+                tracer.close()  # the streamed prefix is still valid JSONL
             print(f"invariant violation: {exc}", file=sys.stderr)
             return 3
         membership = summary.membership
@@ -185,11 +271,17 @@ def _cmd_detect(args) -> int:
     print(f"wall clock: {time.perf_counter() - t0:.2f}s")
 
     if tracer is not None:
-        export_trace(tracer.events, args.trace, args.trace_format)
-        print(
-            f"wrote {args.trace} ({len(tracer.events)} events, "
-            f"{args.trace_format})"
-        )
+        tracer.close()
+        if sink is not None:
+            print(
+                f"wrote {args.trace} ({sink.num_events} events, jsonl, streamed)"
+            )
+        else:
+            export_trace(tracer.events, args.trace, args.trace_format)
+            print(
+                f"wrote {args.trace} ({len(tracer.events)} events, "
+                f"{args.trace_format})"
+            )
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -385,6 +477,109 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .observability.golden import (
+        DEFAULT_GOLDEN_DIR,
+        GOLDEN_BENCHMARKS,
+        Tolerances,
+        compare_golden,
+        format_drift_table,
+        golden_path,
+        record_golden,
+    )
+
+    if args.trace_command == "list":
+        for spec in GOLDEN_BENCHMARKS.values():
+            print(
+                f"{spec.name:<16s} {spec.family:<7s} "
+                f"ranks={spec.num_ranks} seed={spec.seed}  {spec.description}"
+            )
+        return 0
+
+    if args.trace_command == "tail":
+        from .observability import follow_jsonl, iter_jsonl
+        from .observability.report import format_event_line
+
+        try:
+            if args.follow:
+                events = follow_jsonl(
+                    args.path, poll_interval=args.poll, timeout=args.timeout
+                )
+            else:
+                events = iter_jsonl(args.path)
+            for ev in events:
+                print(format_event_line(ev), flush=args.follow)
+        except BrokenPipeError:  # e.g. `repro trace tail ... | head`
+            return 0
+        except OSError as exc:
+            print(f"cannot read trace {args.path}: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+        return 0
+
+    # record / compare share benchmark-name resolution.
+    directory = args.golden_dir if args.golden_dir else DEFAULT_GOLDEN_DIR
+    names = args.names or list(GOLDEN_BENCHMARKS)
+    unknown = [n for n in names if n not in GOLDEN_BENCHMARKS]
+    if unknown:
+        print(
+            f"unknown benchmark(s) {unknown}; "
+            f"available: {list(GOLDEN_BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.trace_command == "record":
+        for name in names:
+            spec = GOLDEN_BENCHMARKS[name]
+            path = golden_path(spec, directory)
+            n_events = record_golden(spec, path)
+            print(f"recorded {path} ({n_events} events, streamed)")
+        return 0
+
+    # compare
+    tol_kwargs = {}
+    if args.iterations_tol is not None:
+        tol_kwargs["iterations_abs"] = args.iterations_tol
+    if args.movers_tol is not None:
+        tol_kwargs["movers_rel"] = args.movers_tol
+    if args.modularity_tol is not None:
+        tol_kwargs["modularity_abs"] = args.modularity_tol
+    if args.records_tol is not None:
+        tol_kwargs["records_rel"] = args.records_tol
+    tol = Tolerances(**tol_kwargs)
+
+    total_drift = 0
+    for name in names:
+        spec = GOLDEN_BENCHMARKS[name]
+        path = golden_path(spec, directory)
+        try:
+            drifts = compare_golden(
+                spec, path, tol, perturb_p1=args.perturb_p1
+            )
+        except OSError as exc:
+            print(
+                f"{name}: cannot read golden {path}: {exc} "
+                f"(run `repro trace record {name}` first)",
+                file=sys.stderr,
+            )
+            return 2
+        if drifts:
+            total_drift += len(drifts)
+            print(f"{name}: DRIFT vs {path}")
+            print(format_drift_table(drifts))
+        else:
+            print(f"{name}: ok (matches {path})")
+    if total_drift:
+        print(
+            f"golden-trace gate failed: {total_drift} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .analysis import get_checkers, run_checks
 
@@ -416,6 +611,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "trace": _cmd_trace,
         "check": _cmd_check,
     }
     try:

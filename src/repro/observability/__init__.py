@@ -1,14 +1,22 @@
 """Structured run tracing and metrics (spans, typed events, exporters).
 
-The subsystem has four pieces:
+The subsystem has six pieces:
 
-* :class:`Tracer` / :data:`NULL_TRACER` -- in-memory span + counter + typed
-  event capture with a no-op disabled path;
+* :class:`Tracer` / :data:`NULL_TRACER` -- span + counter + typed event
+  capture with a no-op disabled path;
 * :mod:`repro.observability.events` -- the typed event vocabulary;
+* :mod:`repro.observability.sinks` -- streaming sinks
+  (:class:`JsonlWriterSink` appends each event as it is emitted, so long
+  runs hold O(1) events in memory and the file can be followed live);
 * :mod:`repro.observability.exporters` -- JSONL, Chrome ``trace_event`` and
-  Prometheus text output;
+  Prometheus text output, plus the streaming readers behind
+  ``repro trace tail``;
 * :mod:`repro.observability.report` -- per-iteration convergence and
-  per-phase breakdown tables from a recorded trace (``repro report``).
+  per-phase breakdown tables from a recorded trace (``repro report``);
+* :mod:`repro.observability.golden` -- the golden-trace regression gate
+  (``repro trace record`` / ``repro trace compare``): convergence/phase
+  fingerprints with wall-clock noise projected out, compared under
+  configurable tolerances against checked-in goldens.
 
 Algorithms accept ``tracer=`` and emit through it; the runtime's
 :class:`~repro.runtime.profiler.PhaseProfiler` bridges its phase stack onto
@@ -20,19 +28,36 @@ from .exporters import (
     TRACE_FORMATS,
     chrome_trace,
     export_trace,
+    follow_jsonl,
+    iter_jsonl,
     prometheus_snapshot,
     read_jsonl,
     write_chrome_trace,
     write_jsonl,
     write_prometheus,
 )
+from .golden import (
+    GOLDEN_BENCHMARKS,
+    Drift,
+    GoldenSpec,
+    LevelFingerprint,
+    RunFingerprint,
+    Tolerances,
+    compare_fingerprints,
+    compare_golden,
+    fingerprint_events,
+    format_drift_table,
+    record_golden,
+)
 from .report import (
     format_convergence_table,
+    format_event_line,
     format_phase_table,
     format_report,
     format_table_stats,
     run_header,
 )
+from .sinks import JsonlWriterSink, ListSink, TraceSink
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -41,10 +66,15 @@ __all__ = [
     "NULL_TRACER",
     "TraceEvent",
     "EventKind",
+    "TraceSink",
+    "JsonlWriterSink",
+    "ListSink",
     "TRACE_FORMATS",
     "export_trace",
     "write_jsonl",
     "read_jsonl",
+    "iter_jsonl",
+    "follow_jsonl",
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_snapshot",
@@ -53,5 +83,17 @@ __all__ = [
     "format_convergence_table",
     "format_phase_table",
     "format_table_stats",
+    "format_event_line",
     "run_header",
+    "RunFingerprint",
+    "LevelFingerprint",
+    "fingerprint_events",
+    "Tolerances",
+    "Drift",
+    "compare_fingerprints",
+    "format_drift_table",
+    "GoldenSpec",
+    "GOLDEN_BENCHMARKS",
+    "record_golden",
+    "compare_golden",
 ]

@@ -18,7 +18,8 @@ stream:
 from __future__ import annotations
 
 import json
-from typing import Iterable, Sequence
+import time
+from typing import Iterable, Iterator, Sequence
 
 from .events import EventKind, TraceEvent
 
@@ -26,6 +27,8 @@ __all__ = [
     "TRACE_FORMATS",
     "write_jsonl",
     "read_jsonl",
+    "iter_jsonl",
+    "follow_jsonl",
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_snapshot",
@@ -50,13 +53,52 @@ def write_jsonl(events: Iterable[TraceEvent], path: str) -> None:
 
 
 def read_jsonl(path: str) -> list[TraceEvent]:
-    events: list[TraceEvent] = []
+    return list(iter_jsonl(path))
+
+
+def iter_jsonl(path: str) -> Iterator[TraceEvent]:
+    """Lazily yield events from a JSONL trace (no whole-file buffer)."""
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
-                events.append(TraceEvent.from_dict(json.loads(line)))
-    return events
+                yield TraceEvent.from_dict(json.loads(line))
+
+
+def follow_jsonl(
+    path: str,
+    *,
+    poll_interval: float = 0.2,
+    stop_on_run_end: bool = True,
+    timeout: float | None = None,
+) -> Iterator[TraceEvent]:
+    """``tail -f`` over a JSONL trace being written by a streaming sink.
+
+    Yields events as complete lines appear; a trailing partial line (the
+    writer mid-flush) is kept back until its newline arrives.  Stops at a
+    ``run_end`` event (``stop_on_run_end``), after ``timeout`` seconds with
+    no run_end (``None`` = wait forever), or on ``GeneratorExit``.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    with open(path, "r", encoding="utf-8") as fh:
+        pending = ""
+        while True:
+            chunk = fh.read()
+            if chunk:
+                pending += chunk
+                while "\n" in pending:
+                    line, pending = pending.split("\n", 1)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    ev = TraceEvent.from_dict(json.loads(line))
+                    yield ev
+                    if stop_on_run_end and ev.kind == EventKind.RUN_END:
+                        return
+            else:
+                if deadline is not None and time.monotonic() >= deadline:
+                    return
+                time.sleep(poll_interval)
 
 
 # --------------------------------------------------------------------- #

@@ -23,6 +23,7 @@ from .events import EventKind, TraceEvent
 
 __all__ = [
     "run_header",
+    "format_event_line",
     "format_convergence_table",
     "format_phase_table",
     "format_table_stats",
@@ -59,6 +60,23 @@ def run_header(events: Sequence[TraceEvent]) -> str:
         parts.append(f"levels={levels}")
     if q is not None:
         parts.append(f"Q={q:.4f}")
+    return "  ".join(parts)
+
+
+def format_event_line(ev: TraceEvent) -> str:
+    """One event as a compact single line (``repro trace tail`` output)."""
+    parts = [f"{ev.ts:10.4f}s", f"{ev.kind:<12s}", ev.name]
+    if ev.rank is not None:
+        parts.append(f"rank={ev.rank}")
+    for key, value in ev.data.items():
+        if value is None:
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        elif isinstance(value, list):
+            parts.append(f"{key}=[{len(value)}]")
+        else:
+            parts.append(f"{key}={value}")
     return "  ".join(parts)
 
 

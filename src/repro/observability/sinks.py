@@ -1,0 +1,90 @@
+"""Streaming trace sinks: events leave the tracer as they are emitted.
+
+The in-memory :class:`~repro.observability.tracer.Tracer` buffer is fine for
+short runs, but a long benchmark run emits an event stream proportional to
+``levels x iterations x ranks`` and buffering all of it defeats the point of
+tracing *large* runs.  A :class:`TraceSink` receives every event at emission
+time; :class:`JsonlWriterSink` appends each one to a JSONL file (the same
+format :func:`~repro.observability.exporters.write_jsonl` produces), so
+
+* ``Tracer(sink=JsonlWriterSink(path), buffer=False)`` holds **O(1)** events
+  in memory no matter how long the run is, and
+* the partially-written file is valid JSONL at every line boundary, which is
+  what makes ``repro trace tail --follow`` (live monitoring) and the golden
+  regression gate's record mode work off the same file.
+
+``flush_every=1`` (the default) flushes after every event so a concurrent
+reader never waits more than one event behind the run; raise it for
+throughput if live visibility does not matter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Protocol, runtime_checkable
+
+from .events import TraceEvent
+
+__all__ = ["TraceSink", "JsonlWriterSink", "ListSink"]
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that accepts events one at a time and can be closed."""
+
+    def write(self, event: TraceEvent) -> None:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class JsonlWriterSink:
+    """Incremental JSONL writer (one event per line, append-as-emitted)."""
+
+    def __init__(self, path: str, *, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = path
+        self.flush_every = int(flush_every)
+        self.num_events = 0
+        self._fh = open(path, "w", encoding="utf-8")
+        self._closed = False
+
+    def write(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+        self.num_events += 1
+        if self.num_events % self.flush_every == 0:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.flush()
+            self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "JsonlWriterSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ListSink:
+    """Collects events in a plain list (tests and notebook use)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass

@@ -1,7 +1,10 @@
 """Run tracer: span + counter + typed-event capture with a no-op fallback.
 
 A :class:`Tracer` accumulates :class:`~repro.observability.events.TraceEvent`
-records in memory; the algorithms emit through the typed helpers
+records in memory and/or streams them to a
+:class:`~repro.observability.sinks.TraceSink` as they are emitted
+(``Tracer(sink=..., buffer=False)`` keeps O(1) events resident -- long runs
+never buffer the whole stream); the algorithms emit through the typed helpers
 (:meth:`Tracer.iteration`, :meth:`Tracer.table_stats`, ...) and the
 :class:`~repro.runtime.profiler.PhaseProfiler` bridges its phase context
 manager onto :meth:`begin_span` / :meth:`end_span`, so span nesting mirrors
@@ -18,26 +21,46 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from .events import EventKind, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sinks import TraceSink
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
 
 
 class Tracer:
-    """Collects a typed event stream plus named cumulative counters."""
+    """Collects a typed event stream plus named cumulative counters.
+
+    ``sink`` receives every event at emission time (streaming export);
+    ``buffer=False`` additionally stops the in-memory ``events`` list from
+    growing, so a sink-backed tracer holds O(1) events regardless of run
+    length.  ``buffer=False`` without a sink is rejected -- the events would
+    be lost entirely.
+    """
 
     enabled: bool = True
 
-    def __init__(self, *, clock: Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        sink: "TraceSink | None" = None,
+        buffer: bool = True,
+    ) -> None:
+        if sink is None and not buffer:
+            raise ValueError("buffer=False requires a sink (events would be dropped)")
         self.events: list[TraceEvent] = []
         self.counters: dict[str, float] = {}
+        self.sink = sink
+        self._buffer = bool(buffer)
         self._clock = clock if clock is not None else time.perf_counter
         self._t0 = self._clock()
         self._seq = 0
-        #: Open spans as (name, start_ts, seq_of_begin); LIFO.
-        self._span_stack: list[tuple[str, float]] = []
+        #: Open spans as (name, start_ts, rank_of_begin); LIFO.
+        self._span_stack: list[tuple[str, float, int | None]] = []
 
     # -------------------------------------------------------------- #
     # Core emission
@@ -60,23 +83,43 @@ class Tracer:
             rank=rank, data=data,
         )
         self._seq += 1
-        self.events.append(ev)
+        if self._buffer:
+            self.events.append(ev)
+        if self.sink is not None:
+            self.sink.write(ev)
         return ev
+
+    @property
+    def num_emitted(self) -> int:
+        """Events emitted so far (buffered or not)."""
+        return self._seq
+
+    def close(self) -> None:
+        """Flush and close the attached sink, if any (idempotent)."""
+        if self.sink is not None:
+            self.sink.close()
 
     # -------------------------------------------------------------- #
     # Span API (feeds the Chrome-trace exporter)
     # -------------------------------------------------------------- #
 
     def begin_span(self, name: str, *, rank: int | None = None) -> None:
-        self._span_stack.append((name, self._now()))
+        self._span_stack.append((name, self._now(), rank))
         self.emit(EventKind.SPAN_BEGIN, name, rank=rank)
 
     def end_span(self, **data: Any) -> None:
-        """Close the innermost span; ``data`` rides on the span_end event."""
+        """Close the innermost span; ``data`` rides on the span_end event.
+
+        The rank recorded at :meth:`begin_span` carries through, so both
+        halves of a span attribute to the same rank in exports.
+        """
         if not self._span_stack:
             raise RuntimeError("end_span with no open span")
-        name, start = self._span_stack.pop()
-        self.emit(EventKind.SPAN_END, name, duration=self._now() - start, **data)
+        name, start, rank = self._span_stack.pop()
+        self.emit(
+            EventKind.SPAN_END, name, rank=rank,
+            duration=self._now() - start, **data,
+        )
 
     @contextmanager
     def span(self, name: str, *, rank: int | None = None):
@@ -198,13 +241,19 @@ class NullTracer(Tracer):
 
     enabled = False
 
-    def __init__(self) -> None:  # no clock, no buffers
+    def __init__(self) -> None:  # no clock, no buffers, no sink
         self.events = []
         self.counters = {}
+        self.sink = None
+        self._buffer = True
+        self._seq = 0
         self._span_stack = []
 
     def emit(self, kind, name, *, rank=None, **data):
         return None  # pragma: no cover - trivial
+
+    def close(self):
+        pass
 
     def begin_span(self, name, *, rank=None):
         pass

@@ -17,6 +17,7 @@ from ..graph import Graph
 from ..metrics import community_sizes, modularity_from_labels
 from ..observability.events import TraceEvent
 from ..observability.exporters import write_jsonl
+from ..observability.sinks import JsonlWriterSink
 from ..observability.tracer import Tracer
 from ..runtime import MachineModel, model_times, total_time
 from ..sequential import louvain as _sequential_louvain
@@ -65,6 +66,7 @@ def detect_communities(
     seed: int | None = 0,
     tracer: Tracer | None = None,
     trace_path: str | None = None,
+    trace_stream: bool = False,
     sanitize: bool | Sanitizer | None = None,
     **config_overrides,
 ) -> DetectionSummary:
@@ -91,6 +93,13 @@ def detect_communities(
     trace_path:
         Write the captured events as JSONL here (creates a tracer if none
         was passed); recorded on ``summary.trace_path``.
+    trace_stream:
+        With ``trace_path``, stream events to the file as they are emitted
+        (:class:`~repro.observability.sinks.JsonlWriterSink`) instead of
+        buffering the run in memory.  ``summary.events`` is then empty --
+        read the file back if the events are needed -- but the run holds
+        O(1) events resident and the trace can be followed live.  Requires
+        ``trace_path``; incompatible with an explicit ``tracer``.
     sanitize:
         Enable the :mod:`repro.analysis` runtime invariant sanitizer for the
         parallel variants (``True``/``False``, a
@@ -100,7 +109,16 @@ def detect_communities(
     config_overrides:
         Extra :class:`ParallelLouvainConfig` fields (``max_inner`` etc.).
     """
-    if tracer is None and trace_path is not None:
+    if trace_stream:
+        if trace_path is None:
+            raise ValueError("trace_stream=True requires trace_path")
+        if tracer is not None:
+            raise ValueError(
+                "pass either tracer or trace_stream=True, not both "
+                "(attach a sink to your tracer instead)"
+            )
+        tracer = Tracer(sink=JsonlWriterSink(trace_path), buffer=False)
+    elif tracer is None and trace_path is not None:
         tracer = Tracer()
 
     if algorithm == "sequential":
@@ -120,7 +138,7 @@ def detect_communities(
             level_modularities=list(res.modularities),
             raw=res,
         )
-        return _attach_trace(summary, tracer, trace_path)
+        return _attach_trace(summary, tracer, trace_path, streamed=trace_stream)
 
     if algorithm not in ("parallel", "naive"):
         raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -156,15 +174,25 @@ def detect_communities(
         summary.modeled_total_seconds = total_time(
             result.simulation.profiler, machine, threads=threads
         )
-    return _attach_trace(summary, tracer, trace_path)
+    return _attach_trace(summary, tracer, trace_path, streamed=trace_stream)
 
 
 def _attach_trace(
-    summary: DetectionSummary, tracer: Tracer | None, trace_path: str | None
+    summary: DetectionSummary,
+    tracer: Tracer | None,
+    trace_path: str | None,
+    *,
+    streamed: bool = False,
 ) -> DetectionSummary:
     if tracer is not None:
         summary.events = tracer.events
-        if trace_path is not None:
+        if streamed:
+            # The driver-owned sink already streamed the file; close it out.
+            # (A caller-supplied tracer with its own sink is left open --
+            # the caller decides when to close it.)
+            tracer.close()
+            summary.trace_path = trace_path
+        elif trace_path is not None and tracer.sink is None:
             write_jsonl(tracer.events, trace_path)
             summary.trace_path = trace_path
     return summary

@@ -34,7 +34,19 @@ class EdgeBatch:
 
     ``add_*`` arrays insert undirected edges (or *increase* the weight of
     existing ones); ``remove_*`` arrays delete edges entirely.  Vertex ids
-    beyond the current graph grow the vertex set.
+    beyond the current graph grow the vertex set (additions only --
+    removals must name vertices that already exist, see
+    :func:`apply_edge_batch`).
+
+    Within one batch, **removals apply before additions**: a batch that
+    both removes and adds the same undirected edge ends with the edge
+    present, carrying only the batch's added weight (the removal erased the
+    pre-existing weight first).  Split into two batches if
+    remove-after-add semantics are needed.
+
+    ``add_weight`` entries must be strictly positive; a "negative addition"
+    is not a removal, and zero-weight edges would corrupt the modularity
+    null model (Σ_tot bookkeeping counts every incident edge weight).
     """
 
     add_src: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
@@ -58,6 +70,21 @@ class EdgeBatch:
             raise ValueError("add_weight must match add_src")
         if self.remove_src.shape != self.remove_dst.shape:
             raise ValueError("remove_src and remove_dst must match")
+        for name in ("add_src", "add_dst", "remove_src", "remove_dst"):
+            arr = getattr(self, name)
+            if arr.size and arr.min() < 0:
+                raise ValueError(
+                    f"{name} contains negative vertex ids "
+                    f"(min {int(arr.min())}); vertex ids must be >= 0"
+                )
+        # NaN compares False against 0, so this also rejects NaN weights.
+        if self.add_weight.size and not bool((self.add_weight > 0.0).all()):
+            bad = self.add_weight[~(self.add_weight > 0.0)][0]
+            raise ValueError(
+                f"add_weight entries must be strictly positive, got {bad!r}; "
+                "use remove_src/remove_dst to delete edges instead of "
+                "negative or zero weights"
+            )
 
     @property
     def num_additions(self) -> int:
@@ -78,18 +105,38 @@ def apply_edge_batch(graph: Graph, batch: EdgeBatch) -> Graph:
     """Produce the mutated graph (the old one is untouched).
 
     Additions accumulate weight onto existing edges; removals delete the
-    undirected edge regardless of weight.  Removing a non-existent edge is a
-    no-op.
+    undirected edge regardless of weight.  Removing a non-existent edge
+    between *existing* vertices is a no-op.
+
+    **Ordering contract:** removals apply first, then additions.  A batch
+    that removes edge ``(u, v)`` and also adds it therefore *resurrects*
+    the edge with only the added weight -- the removal cannot cancel an
+    addition from the same batch.
+
+    Removals are validated against the vertex set of the **incoming**
+    graph: naming a vertex that only exists because of this batch's
+    additions raises ``ValueError`` (such an edge cannot pre-exist, so the
+    removal is necessarily a mistake in the caller's bookkeeping).
     """
     src, dst, wt = graph.edge_arrays()
-    n = graph.num_vertices
+    n_old = graph.num_vertices
+    if batch.num_removals:
+        # Bounds-check against the PRE-growth vertex count: removals must
+        # name vertices that existed before this batch's additions.
+        too_big = max(
+            int(batch.remove_src.max(initial=-1)),
+            int(batch.remove_dst.max(initial=-1)),
+        )
+        if too_big >= n_old:
+            raise ValueError(
+                f"cannot remove edges of unknown vertices: id {too_big} >= "
+                f"{n_old} (the graph's vertex count before this batch's "
+                "additions)"
+            )
+    n = n_old
     if batch.num_additions:
         top = int(max(batch.add_src.max(), batch.add_dst.max())) + 1
         n = max(n, top)
-    if batch.num_removals and batch.remove_src.size:
-        # removals cannot grow the graph; ids must already exist
-        if batch.remove_src.max(initial=-1) >= n or batch.remove_dst.max(initial=-1) >= n:
-            raise ValueError("cannot remove edges of unknown vertices")
 
     if batch.num_removals:
         keys = _edge_key(src, dst, n)

@@ -96,6 +96,13 @@ def fit_schedule(
 
     With ``y = log eps`` and ``x = 1 / iter`` the model is linear:
     ``y = log p1 + x / p2``.
+
+    A non-decaying trace fits a non-positive slope (or, for a perfectly flat
+    trace, a vanishingly small one made of floating-point noise), which Eq. 7
+    cannot represent (``p2`` must be positive and finite); slopes below
+    ``1e-3`` therefore fall back to that weakest meaningful slope -- i.e.
+    ``p2 = 1000``, an essentially flat schedule pinned near ``p1`` -- rather
+    than raising or returning a negative or astronomically large ``p2``.
     """
     xs: list[float] = []
     ys: list[float] = []
@@ -108,9 +115,11 @@ def fit_schedule(
     x = np.asarray(xs)
     y = np.asarray(ys)
     slope, intercept = np.polyfit(x, y, 1)
-    if slope <= 0:
-        # Degenerate trace (no decay): fall back to a weak schedule rather
-        # than produce a negative p2.
+    if slope < 1e-3:
+        # Degenerate trace (no decay): fall back to the weakest meaningful
+        # slope rather than produce a negative p2 -- or an astronomically
+        # large one when a perfectly flat trace fits slope ~1e-16 of pure
+        # floating-point noise.
         slope = 1e-3
     return ExponentialSchedule(p1=float(np.exp(intercept)), p2=float(1.0 / slope))
 
@@ -127,14 +136,21 @@ HISTOGRAM_EDGES: np.ndarray = np.logspace(-12, 0, 97)
 def gain_histogram(gains: np.ndarray, edges: np.ndarray = HISTOGRAM_EDGES) -> np.ndarray:
     """Histogram of strictly-positive gains over ``edges`` (one rank's part).
 
-    Bin 0 counts gains below ``edges[0]`` (kept so tiny positive gains are
-    still movable when the threshold is fully open).
+    Bin ``b`` holds gains in the half-open interval ``(edges[b-1],
+    edges[b]]`` -- **upper-edge inclusive**: a gain exactly equal to
+    ``edges[b]`` lands in bin ``b``, not bin ``b+1`` (``np.searchsorted``
+    with ``side="left"`` returns the first index whose edge is >= the gain).
+    This matters to :func:`threshold_from_histogram`, which returns a bin's
+    *lower* edge and admits movers with ``gain > threshold``: upper-inclusive
+    binning keeps an edge-valued gain inside the bin that the returned
+    threshold admits.  Bin 0 holds ``(0, edges[0]]`` (kept so tiny positive
+    gains are still movable when the threshold is fully open); gains above
+    ``edges[-1]`` are clipped into the last bin.
     """
     gains = np.asarray(gains, dtype=np.float64)
     pos = gains[gains > 0.0]
     if pos.size == 0:
         return np.zeros(edges.size, dtype=np.int64)
-    # Bin b holds gains in (edges[b-1], edges[b]]; bin 0 holds (0, edges[0]].
     idx = np.searchsorted(edges, pos, side="left")
     idx = np.clip(idx, 0, edges.size - 1)
     return np.bincount(idx, minlength=edges.size).astype(np.int64)
@@ -145,12 +161,16 @@ def threshold_from_histogram(
     target_movers: int,
     edges: np.ndarray = HISTOGRAM_EDGES,
 ) -> float:
-    """ΔQ̂ such that roughly ``target_movers`` gains exceed it.
+    """ΔQ̂ such that *at least* ``target_movers`` gains exceed it.
 
     Walks the (global) histogram from the top bin down, accumulating counts,
-    and returns the lower edge of the last included bin.  If the target
-    exceeds the number of positive gains the threshold opens fully (0.0, i.e.
-    every strictly positive gain moves).
+    and returns the lower edge of the last included bin, so every gain in an
+    included bin passes a strict ``gain > threshold`` test.  A target
+    exactly equal to a suffix count stops at that bin (admitting exactly the
+    target when the bin boundary is tight); bin granularity can only admit
+    *more* than the target, never fewer.  If the target reaches the number
+    of positive gains the threshold opens fully (0.0, i.e. every strictly
+    positive gain moves).
     """
     histogram = np.asarray(histogram, dtype=np.int64)
     if target_movers <= 0:
@@ -159,7 +179,10 @@ def threshold_from_histogram(
     if target_movers >= total:
         return 0.0
     cum_from_top = np.cumsum(histogram[::-1])[::-1]
-    # Smallest bin index whose suffix count still reaches the target.
+    # cum_from_top is non-increasing in the bin index, so the bins whose
+    # suffix count still reaches the target form a prefix [0..b]; take the
+    # LARGEST such index -- the bin where the top-down walk first
+    # accumulates the target -- and admit everything above its lower edge.
     include = np.flatnonzero(cum_from_top >= target_movers)
     if include.size == 0:
         return 0.0

@@ -48,6 +48,32 @@ class TestSpans:
             t.emit(EventKind.COUNTER, f"c{i}")
         assert [e.seq for e in t.events] == list(range(5))
 
+    def test_span_end_carries_begin_rank(self):
+        """The rank recorded at begin_span must ride on the span_end event
+        (regression: end_span used to drop it, so per-rank span attribution
+        broke in the exporters)."""
+        t = Tracer()
+        t.begin_span("X", rank=3)
+        t.end_span()
+        begin, end = t.events
+        assert begin.kind == EventKind.SPAN_BEGIN and begin.rank == 3
+        assert end.kind == EventKind.SPAN_END and end.rank == 3
+
+    def test_nested_spans_keep_their_own_ranks(self):
+        t = Tracer()
+        with t.span("outer", rank=1):
+            with t.span("inner", rank=2):
+                pass
+            with t.span("rankless"):
+                pass
+        ends = {e.name: e.rank for e in t.events if e.kind == EventKind.SPAN_END}
+        assert ends == {"outer": 1, "inner": 2, "rankless": None}
+
+    def test_num_emitted_counts_without_buffering(self):
+        t = Tracer()
+        t.emit(EventKind.COUNTER, "c")
+        assert t.num_emitted == 1 == len(t.events)
+
 
 class TestProfilerBridge:
     def test_span_nesting_matches_profiler_phases(self):

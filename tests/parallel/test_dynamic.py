@@ -114,6 +114,42 @@ class TestEdgeBatch:
         with pytest.raises(ValueError):
             apply_edge_batch(g, EdgeBatch(remove_src=[5], remove_dst=[0]))
 
+    def test_remove_then_add_same_edge_resurrects_it(self):
+        """The documented ordering contract: removals apply before additions,
+        so a batch that removes and re-adds edge (0, 1) ends with the edge
+        present, carrying only the batch's added weight."""
+        g = Graph.from_edges([0], [1], [7.0])
+        g2 = apply_edge_batch(g, EdgeBatch(
+            add_src=[0], add_dst=[1], add_weight=[2.0],
+            remove_src=[0], remove_dst=[1],
+        ))
+        assert g2.has_edge(0, 1)
+        assert g2.edge_weight(0, 1) == 2.0  # not 7.0, not 9.0
+
+    def test_removal_of_vertex_added_by_same_batch_rejected(self):
+        """Regression: removal ids are validated against the PRE-growth
+        vertex count.  A removal naming a vertex that only exists because of
+        this batch's additions cannot refer to a pre-existing edge, so it
+        must raise instead of silently passing the (post-growth) bounds
+        check."""
+        g = Graph.from_edges([0], [1])
+        with pytest.raises(ValueError, match="before this batch's additions"):
+            apply_edge_batch(g, EdgeBatch(
+                add_src=[1], add_dst=[5],
+                remove_src=[5], remove_dst=[0],
+            ))
+
+    def test_add_weight_must_be_strictly_positive(self):
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError, match="strictly positive"):
+                EdgeBatch(add_src=[0], add_dst=[1], add_weight=[bad])
+
+    def test_negative_vertex_ids_rejected(self):
+        with pytest.raises(ValueError, match="negative vertex ids"):
+            EdgeBatch(add_src=[-1], add_dst=[0])
+        with pytest.raises(ValueError, match="negative vertex ids"):
+            EdgeBatch(remove_src=[0], remove_dst=[-2])
+
 
 class TestIncremental:
     def test_small_perturbation_repaired_quickly(self, base):
@@ -159,3 +195,44 @@ class TestIncremental:
             incremental_louvain(
                 lfr.graph, EdgeBatch(), np.zeros(5, dtype=np.int64), num_ranks=2
             )
+
+    def test_grown_vertices_start_as_fresh_singletons(self, monkeypatch):
+        """The warm-start labeling contract: old vertices keep their previous
+        labels verbatim and each grown vertex gets its own fresh label above
+        ``previous.max()`` -- never a recycled community id."""
+        import repro.parallel.dynamic as dynamic
+
+        captured = {}
+        real = dynamic.parallel_louvain
+
+        def spy(graph, config, initial_membership=None, **kw):
+            captured["membership"] = np.array(initial_membership)
+            return real(graph, config, initial_membership=initial_membership, **kw)
+
+        monkeypatch.setattr(dynamic, "parallel_louvain", spy)
+        g = Graph.from_edges([0, 1], [1, 2])
+        prev = np.array([4, 4, 9], dtype=np.int64)
+        batch = EdgeBatch(add_src=[2, 3], add_dst=[3, 4])
+        dynamic.incremental_louvain(g, batch, prev, num_ranks=2)
+        got = captured["membership"]
+        np.testing.assert_array_equal(got[:3], prev)
+        # Two grown vertices: consecutive fresh labels above prev.max().
+        np.testing.assert_array_equal(got[3:], [10, 11])
+
+    def test_no_growth_passes_membership_through(self, monkeypatch):
+        import repro.parallel.dynamic as dynamic
+
+        captured = {}
+        real = dynamic.parallel_louvain
+
+        def spy(graph, config, initial_membership=None, **kw):
+            captured["membership"] = np.array(initial_membership)
+            return real(graph, config, initial_membership=initial_membership, **kw)
+
+        monkeypatch.setattr(dynamic, "parallel_louvain", spy)
+        g = Graph.from_edges([0, 1], [1, 2])
+        prev = np.array([0, 0, 1], dtype=np.int64)
+        dynamic.incremental_louvain(
+            g, EdgeBatch(add_src=[0], add_dst=[2]), prev, num_ranks=2
+        )
+        np.testing.assert_array_equal(captured["membership"], prev)

@@ -88,6 +88,22 @@ class TestFitSchedule:
         fitted = fit_schedule([[0.9, 0.2, 0.0, 0.0]])
         assert fitted.p1 > 0
 
+    def test_degenerate_flat_trace_falls_back_to_weak_schedule(self):
+        """Regression: a non-decaying trace fits slope <= 0, which Eq. 7
+        cannot represent.  The fit must fall back to p2 = 1000 (slope 1e-3)
+        instead of raising in ExponentialSchedule.__post_init__."""
+        fitted = fit_schedule([[0.3, 0.3, 0.3, 0.3, 0.3]])
+        assert fitted.p2 == pytest.approx(1000.0)
+        assert fitted.p1 > 0
+        # The fallback schedule is essentially flat and stays near p1.
+        assert fitted.epsilon(1) == pytest.approx(fitted.epsilon(50), rel=5e-3)
+
+    def test_increasing_trace_also_falls_back(self):
+        """A trace that *grows* over iterations (negative slope in the
+        transformed space) takes the same fallback."""
+        fitted = fit_schedule([[0.05, 0.1, 0.2, 0.4]])
+        assert fitted.p2 == pytest.approx(1000.0)
+
 
 class TestGainHistogram:
     def test_only_positive_counted(self):
@@ -103,6 +119,28 @@ class TestGainHistogram:
         b = int(np.flatnonzero(h)[0])
         if b > 0:
             assert HISTOGRAM_EDGES[b - 1] < 1e-6 <= HISTOGRAM_EDGES[b]
+
+    def test_gain_exactly_on_edge_lands_in_lower_bin(self):
+        """Boundary regression: bins are upper-edge inclusive.  A gain equal
+        to ``edges[b]`` must land in bin b (interval ``(edges[b-1],
+        edges[b]]``), not in bin b+1 -- otherwise an edge-valued gain would
+        fail the strict ``gain > threshold`` test when the threshold opens
+        exactly down to its bin."""
+        for b in (1, 40, HISTOGRAM_EDGES.size - 1):
+            h = gain_histogram(np.array([HISTOGRAM_EDGES[b]]))
+            assert h[b] == 1 and h.sum() == 1
+
+    def test_edge_valued_gain_admitted_by_its_bin_threshold(self):
+        """Composition of the two halves: when the threshold opens a bin,
+        a gain sitting exactly on that bin's upper edge must pass."""
+        b = 50
+        gains = np.array([HISTOGRAM_EDGES[b]])
+        thr = threshold_from_histogram(gain_histogram(gains), 1)
+        assert (gains > thr).sum() == 1
+
+    def test_gain_above_last_edge_clipped_into_top_bin(self):
+        h = gain_histogram(np.array([2.0]))
+        assert h[-1] == 1
 
 
 class TestThresholdSelection:
@@ -125,6 +163,29 @@ class TestThresholdSelection:
         h = gain_histogram(gains)
         thr = threshold_from_histogram(h, 1)
         assert thr in HISTOGRAM_EDGES or thr == 0.0
+
+    def test_target_exactly_equal_to_suffix_count(self):
+        """Boundary regression: when the target equals a bin's suffix count
+        exactly, the walk stops at that bin (the LARGEST index whose suffix
+        reaches the target) and admits exactly the target -- it must not
+        overshoot into the next lower bin and admit more."""
+        # 100 gains in a high bin, 900 in a low one; the suffix count at the
+        # high bin is exactly 100.
+        gains = np.concatenate([np.full(100, 1e-2), np.full(900, 1e-6)])
+        h = gain_histogram(gains)
+        thr = threshold_from_histogram(h, 100)
+        assert (gains > thr).sum() == 100
+        # One more than the suffix count must fall through to the lower bin.
+        thr_plus = threshold_from_histogram(h, 101)
+        assert thr_plus < thr
+        assert (gains > thr_plus).sum() == 1000
+
+    def test_threshold_monotone_in_target(self):
+        """More requested movers can only lower (open) the threshold."""
+        rng = np.random.default_rng(1)
+        h = gain_histogram(rng.uniform(1e-8, 0.5, 500))
+        thresholds = [threshold_from_histogram(h, t) for t in (1, 10, 100, 499)]
+        assert all(a >= b for a, b in zip(thresholds, thresholds[1:]))
 
     @given(
         st.lists(st.floats(min_value=1e-10, max_value=0.9), min_size=1, max_size=200),

@@ -169,6 +169,75 @@ class TestTrace:
         assert "cannot read trace" in capsys.readouterr().err
 
 
+class TestTraceStreaming:
+    def test_detect_trace_streams_jsonl(self, edge_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rc = main(["detect", str(edge_file), "--trace", str(trace)])
+        assert rc == 0
+        assert "streamed" in capsys.readouterr().out
+        lines = [l for l in trace.open() if l.strip()]
+        assert len(lines) > 100
+        assert all(json.loads(l)["kind"] for l in lines)
+
+
+class TestTraceGolden:
+    @pytest.fixture(scope="class")
+    def golden_dir(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("goldens")
+        rc = main(["trace", "record", "lfr-small", "--dir", str(d)])
+        assert rc == 0
+        return d
+
+    def test_list(self, capsys):
+        rc = main(["trace", "list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lfr-small" in out and "rmat-small" in out
+        assert "social-amazon" in out
+
+    def test_record_writes_golden(self, golden_dir, capsys):
+        assert (golden_dir / "lfr-small.jsonl").exists()
+
+    def test_compare_clean_run_passes(self, golden_dir, capsys):
+        rc = main(["trace", "compare", "lfr-small", "--dir", str(golden_dir)])
+        assert rc == 0
+        assert "ok (matches" in capsys.readouterr().out
+
+    def test_compare_perturbed_run_fails(self, golden_dir, capsys):
+        """The gate's self-test knob: a perturbed schedule must exit 1 and
+        print the drift table."""
+        rc = main([
+            "trace", "compare", "lfr-small", "--dir", str(golden_dir),
+            "--perturb-p1", "4.0",
+        ])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "DRIFT" in captured.out
+        assert "Golden-trace drift" in captured.out
+        assert "golden-trace gate failed" in captured.err
+
+    def test_compare_missing_golden_hints_record(self, tmp_path, capsys):
+        rc = main(["trace", "compare", "lfr-small", "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "repro trace record" in capsys.readouterr().err
+
+    def test_unknown_benchmark_rejected(self, tmp_path, capsys):
+        rc = main(["trace", "record", "nope", "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_tail_prints_event_lines(self, golden_dir, capsys):
+        rc = main(["trace", "tail", str(golden_dir / "lfr-small.jsonl")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out and "run_end" in out
+
+    def test_tail_missing_file(self, tmp_path, capsys):
+        rc = main(["trace", "tail", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
 class TestInfo:
     def test_info(self, edge_file, capsys):
         rc = main(["info", str(edge_file), "--clustering"])
