@@ -1,0 +1,159 @@
+"""End-to-end smoke test of the ``repro serve`` HTTP service.
+
+Starts the server as a subprocess (exactly as an operator would), then
+drives the full workflow over plain :mod:`urllib`:
+
+1. generate an LFR benchmark graph and POST it as a detection job;
+2. poll the job to completion and query a vertex's community;
+3. POST an edge batch, wait for the warm-start repair, re-query;
+4. check ``/healthz``, ``/diff``, and the ``/metrics`` job counters;
+5. shut the server down cleanly via ``POST /shutdown``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/service_smoke.py
+
+Exits non-zero (via assert) if any step misbehaves; the CI
+``service-smoke`` job runs this script on every push.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+PORT = int(os.environ.get("REPRO_SMOKE_PORT", "8737"))
+BASE = f"http://127.0.0.1:{PORT}"
+
+
+def request(method, path, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        BASE + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        raw = resp.read().decode()
+        try:
+            return resp.status, json.loads(raw)
+        except json.JSONDecodeError:
+            return resp.status, raw
+
+
+def wait_for(predicate, timeout=60, interval=0.1, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result is not None:
+            return result
+        time.sleep(interval)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def poll_job(job_id):
+    def check():
+        _, doc = request("GET", f"/jobs/{job_id}")
+        return doc if doc["state"] in ("done", "failed", "cancelled") else None
+
+    doc = wait_for(check, what=f"job {job_id}")
+    assert doc["state"] == "done", f"job {job_id} ended {doc['state']}: {doc['error']}"
+    return doc
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-smoke-")
+    graph_path = os.path.join(workdir, "lfr.txt")
+    trace_dir = os.path.join(workdir, "traces")
+
+    subprocess.run(
+        [sys.executable, "-m", "repro", "generate", "lfr",
+         "--vertices", "800", "--avg-degree", "12", "--max-degree", "40",
+         "--mixing", "0.2", "--seed", "42", "--output", graph_path],
+        check=True,
+    )
+    with open(graph_path) as fh:
+        edges = [
+            [int(parts[0]), int(parts[1])]
+            for parts in (ln.split() for ln in fh)
+            if parts and not parts[0].startswith("#")
+        ]
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(PORT),
+         "--workers", "2", "--trace-dir", trace_dir],
+    )
+    try:
+        # 1. The server comes up and reports healthy.
+        def healthy():
+            try:
+                return request("GET", "/healthz")[1]
+            except (urllib.error.URLError, ConnectionError, OSError):
+                return None
+
+        health = wait_for(healthy, timeout=30, what="server startup")
+        assert health["status"] == "ok", health
+        print(f"serve up: {health['workers']} workers")
+
+        # 2. Submit the graph, poll the detection job, query membership.
+        status, doc = request("POST", "/graph", {"edges": edges, "seed": 0})
+        assert status == 202, (status, doc)
+        job = poll_job(doc["job_id"])
+        version = job["result"]["version"]
+        q_full = job["result"]["modularity"]
+        print(f"detect done: version={version} Q={q_full:.4f} "
+              f"levels={job['result']['num_levels']}")
+        assert q_full > 0.3, "LFR mu=0.2 should yield strong communities"
+
+        status, member = request("GET", "/membership?vertex=0")
+        assert status == 200 and member["version"] == version
+
+        # 3. Edge batch -> warm-start repair -> new version.
+        add = [[i, (i + 37) % 800] for i in range(0, 60, 2)]
+        status, doc = request("POST", "/edges", {"add": add})
+        assert status == 202, (status, doc)
+        upd = poll_job(doc["job_id"])
+        new_version = upd["result"]["version"]
+        assert upd["result"]["base_version"] == version
+        print(f"update done: version={new_version} "
+              f"Q={upd['result']['modularity']:.4f}")
+
+        status, member2 = request("GET", "/membership?vertex=0")
+        assert member2["version"] == new_version
+
+        # Point-in-time query against the pre-update version still works.
+        status, old = request("GET", f"/membership?vertex=0&version={version}")
+        assert old["version"] == version
+
+        # 4. Diff + metrics counters.
+        status, diff = request("GET", f"/diff?from={version}&to={new_version}")
+        assert status == 200 and diff["num_added"] == 0
+        print(f"diff v{version}->v{new_version}: {diff['num_moved']} moved")
+
+        status, metrics = request("GET", "/metrics")
+        assert status == 200
+        assert "repro_service_jobs_submitted 2" in metrics, metrics
+        assert "repro_service_jobs_completed 2" in metrics, metrics
+        assert "repro_service_latest_version 2" in metrics, metrics
+
+        # The rotating trace sink wrote segments for both jobs.
+        segments = [f for f in os.listdir(trace_dir) if f.endswith(".jsonl")]
+        assert segments, "service trace segments missing"
+
+        # 5. Clean shutdown via the API.
+        status, doc = request("POST", "/shutdown")
+        assert status == 202
+        rc = server.wait(timeout=30)
+        assert rc == 0, f"server exited {rc}"
+        print("shutdown clean; service smoke test passed")
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

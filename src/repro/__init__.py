@@ -16,6 +16,8 @@ Public API highlights
 * :mod:`repro.harness` -- one experiment runner per paper table/figure.
 * :mod:`repro.analysis` -- SPMD superstep-safety linter (``repro check``)
   and the opt-in runtime invariant sanitizer.
+* :mod:`repro.service` -- long-lived detection service (job queue, worker
+  pool, versioned snapshot store, ``repro serve`` HTTP API).
 """
 
 from . import (
@@ -29,6 +31,7 @@ from . import (
     parallel,
     runtime,
     sequential,
+    service,
 )
 from .analysis import InvariantViolation, Sanitizer
 from .graph import Graph
@@ -44,6 +47,7 @@ from .parallel import (
 )
 from .runtime import BGQ, P7IH, MachineModel
 from .sequential import louvain as sequential_louvain
+from .service import DetectionService
 
 __version__ = "1.0.0"
 
@@ -64,6 +68,7 @@ __all__ = [
     "TraceEvent",
     "InvariantViolation",
     "Sanitizer",
+    "DetectionService",
     "analysis",
     "graph",
     "hashing",
@@ -74,5 +79,6 @@ __all__ = [
     "runtime",
     "parallel",
     "harness",
+    "service",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Seven subcommands cover the library's main workflows:
+Eight subcommands cover the library's main workflows:
 
 * ``detect``      -- community detection on an edge-list file (optionally
   recording a structured trace with ``--trace`` / ``--trace-format`` --
@@ -12,8 +12,11 @@ Seven subcommands cover the library's main workflows:
 * ``report``      -- render a recorded JSONL trace as convergence and
   phase-breakdown tables (the data behind Figs. 2, 4 and 8);
 * ``trace``       -- the golden-trace regression gate (``record`` /
-  ``compare`` over the checked-in goldens) plus ``tail`` for live
+  ``compare`` over the checked-in goldens), ``diff`` for fingerprinting two
+  arbitrary recorded traces against each other, and ``tail`` for live
   monitoring of a streaming trace;
+* ``serve``       -- long-lived detection service with a job queue, worker
+  pool, versioned snapshot store and HTTP API (:mod:`repro.service`);
 * ``check``       -- run the :mod:`repro.analysis` superstep-safety linter
   over source files or directories.
 """
@@ -149,22 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-test knob: multiply the Eq.-7 schedule's p1 by FACTOR "
         "for the current run (the gate must then report drift)",
     )
-    trc_cmp.add_argument(
-        "--iterations-tol", type=int, default=None, metavar="N",
-        help="allowed per-level iteration-count drift (default 0)",
+    _add_tolerance_flags(trc_cmp)
+
+    trc_diff = trc_sub.add_parser(
+        "diff",
+        help="fingerprint-diff two recorded traces (no golden registry "
+        "needed; non-zero exit on drift)",
     )
-    trc_cmp.add_argument(
-        "--movers-tol", type=float, default=None, metavar="FRAC",
-        help="allowed relative per-iteration mover-count drift (default 0.02)",
-    )
-    trc_cmp.add_argument(
-        "--modularity-tol", type=float, default=None, metavar="ABS",
-        help="allowed absolute modularity drift (default 1e-6)",
-    )
-    trc_cmp.add_argument(
-        "--records-tol", type=float, default=None, metavar="FRAC",
-        help="allowed relative superstep record/byte drift (default 0.02)",
-    )
+    trc_diff.add_argument("golden", help="baseline JSONL trace (or .fingerprint.json)")
+    trc_diff.add_argument("current", help="trace to compare against the baseline")
+    _add_tolerance_flags(trc_diff)
 
     trc_sub.add_parser("list", help="list the registered golden benchmarks")
 
@@ -185,6 +182,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up after this long with no run_end (follow mode)",
     )
 
+    srv = sub.add_parser(
+        "serve",
+        help="long-lived detection service: job queue + worker pool + "
+        "versioned snapshot store behind an HTTP API",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8737)
+    srv.add_argument("--workers", type=int, default=2, help="worker threads")
+    srv.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="max waiting jobs before submissions get 503 backpressure",
+    )
+    srv.add_argument("--ranks", type=int, default=4, help="default simulated ranks")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock budget (default: unlimited)",
+    )
+    srv.add_argument(
+        "--max-retries", type=int, default=0,
+        help="default retries for transiently-failing jobs",
+    )
+    srv.add_argument(
+        "--store-capacity", type=int, default=32,
+        help="snapshots retained for point-in-time queries (oldest evicted)",
+    )
+    srv.add_argument(
+        "--graph", metavar="PATH", default=None,
+        help="edge-list file to load and submit as the first detection job",
+    )
+    srv.add_argument(
+        "--trace-dir", default="service-traces", metavar="DIR",
+        help="directory for the rotating JSONL trace segments",
+    )
+    srv.add_argument(
+        "--trace-segment-bytes", type=int, default=4_000_000, metavar="N",
+        help="rotate the service trace after a segment reaches N bytes",
+    )
+    srv.add_argument(
+        "--trace-segments", type=int, default=8, metavar="N",
+        help="segments kept before the oldest is deleted",
+    )
+    srv.add_argument(
+        "--no-trace", action="store_true",
+        help="disable the service trace sink entirely",
+    )
+    srv.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+
     chk = sub.add_parser(
         "check", help="lint source files for SPMD superstep-safety hazards"
     )
@@ -201,6 +248,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered checkers and exit",
     )
     return parser
+
+
+def _add_tolerance_flags(parser: argparse.ArgumentParser) -> None:
+    """Fingerprint tolerance overrides shared by ``trace compare``/``diff``."""
+    parser.add_argument(
+        "--iterations-tol", type=int, default=None, metavar="N",
+        help="allowed per-level iteration-count drift (default 0)",
+    )
+    parser.add_argument(
+        "--movers-tol", type=float, default=None, metavar="FRAC",
+        help="allowed relative per-iteration mover-count drift (default 0.02)",
+    )
+    parser.add_argument(
+        "--modularity-tol", type=float, default=None, metavar="ABS",
+        help="allowed absolute modularity drift (default 1e-6)",
+    )
+    parser.add_argument(
+        "--records-tol", type=float, default=None, metavar="FRAC",
+        help="allowed relative superstep record/byte drift (default 0.02)",
+    )
+
+
+def _tolerances_from_args(args):
+    from .observability.golden import Tolerances
+
+    tol_kwargs = {}
+    if args.iterations_tol is not None:
+        tol_kwargs["iterations_abs"] = args.iterations_tol
+    if args.movers_tol is not None:
+        tol_kwargs["movers_rel"] = args.movers_tol
+    if args.modularity_tol is not None:
+        tol_kwargs["modularity_abs"] = args.modularity_tol
+    if args.records_tol is not None:
+        tol_kwargs["records_rel"] = args.records_tol
+    return Tolerances(**tol_kwargs)
 
 
 # --------------------------------------------------------------------- #
@@ -481,10 +563,11 @@ def _cmd_trace(args) -> int:
     from .observability.golden import (
         DEFAULT_GOLDEN_DIR,
         GOLDEN_BENCHMARKS,
-        Tolerances,
+        compare_fingerprints,
         compare_golden,
         format_drift_table,
         golden_path,
+        load_fingerprint,
         record_golden,
     )
 
@@ -518,6 +601,28 @@ def _cmd_trace(args) -> int:
             return 0
         return 0
 
+    if args.trace_command == "diff":
+        import json as _json
+
+        fps = []
+        for path in (args.golden, args.current):
+            try:
+                fps.append(load_fingerprint(path))
+            except (OSError, ValueError, KeyError, _json.JSONDecodeError) as exc:
+                print(f"cannot fingerprint {path}: {exc}", file=sys.stderr)
+                return 2
+        drifts = compare_fingerprints(fps[0], fps[1], _tolerances_from_args(args))
+        if drifts:
+            print(f"DRIFT: {args.current} vs {args.golden}")
+            print(format_drift_table(drifts))
+            return 1
+        print(
+            f"ok: {args.current} matches {args.golden} within tolerances "
+            f"({fps[0].algorithm}, {fps[0].num_levels} levels, "
+            f"Q={fps[0].final_modularity:.4f})"
+        )
+        return 0
+
     # record / compare share benchmark-name resolution.
     directory = args.golden_dir if args.golden_dir else DEFAULT_GOLDEN_DIR
     names = args.names or list(GOLDEN_BENCHMARKS)
@@ -539,16 +644,7 @@ def _cmd_trace(args) -> int:
         return 0
 
     # compare
-    tol_kwargs = {}
-    if args.iterations_tol is not None:
-        tol_kwargs["iterations_abs"] = args.iterations_tol
-    if args.movers_tol is not None:
-        tol_kwargs["movers_rel"] = args.movers_tol
-    if args.modularity_tol is not None:
-        tol_kwargs["modularity_abs"] = args.modularity_tol
-    if args.records_tol is not None:
-        tol_kwargs["records_rel"] = args.records_tol
-    tol = Tolerances(**tol_kwargs)
+    tol = _tolerances_from_args(args)
 
     total_drift = 0
     for name in names:
@@ -577,6 +673,49 @@ def _cmd_trace(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import os
+
+    from .graph import read_edge_list
+    from .observability import RotatingJsonlSink
+    from .service import DetectionService, ServiceServer, run_server
+
+    sink = None
+    if not args.no_trace:
+        sink = RotatingJsonlSink(
+            os.path.join(args.trace_dir, "service.jsonl"),
+            max_segment_bytes=args.trace_segment_bytes,
+            max_segments=args.trace_segments,
+        )
+    service = DetectionService(
+        num_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        store_capacity=args.store_capacity,
+        num_ranks=args.ranks,
+        seed=args.seed,
+        default_timeout=args.job_timeout,
+        default_max_retries=args.max_retries,
+        sink=sink,
+    )
+    if args.graph:
+        graph = read_edge_list(args.graph)
+        job = service.submit_graph(graph)
+        print(
+            f"submitted {args.graph} ({graph.num_vertices} vertices / "
+            f"{graph.num_edges} edges) as {job.job_id}"
+        )
+    server = ServiceServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(f"serving on {server.address} ({args.workers} workers, "
+          f"queue capacity {args.queue_capacity})")
+    if sink is not None:
+        print(f"tracing to {sink.current_segment} "
+              f"(rotating, {args.trace_segments} x {args.trace_segment_bytes} bytes)")
+    run_server(server)
     return 0
 
 
@@ -612,6 +751,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
         "check": _cmd_check,
     }
     try:

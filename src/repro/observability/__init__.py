@@ -30,6 +30,8 @@ from .exporters import (
     export_trace,
     follow_jsonl,
     iter_jsonl,
+    prometheus_counters,
+    prometheus_gauges,
     prometheus_snapshot,
     read_jsonl,
     write_chrome_trace,
@@ -47,6 +49,7 @@ from .golden import (
     compare_golden,
     fingerprint_events,
     format_drift_table,
+    load_fingerprint,
     record_golden,
 )
 from .report import (
@@ -57,7 +60,7 @@ from .report import (
     format_table_stats,
     run_header,
 )
-from .sinks import JsonlWriterSink, ListSink, TraceSink
+from .sinks import JsonlWriterSink, ListSink, NullSink, RotatingJsonlSink, TraceSink
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -68,7 +71,9 @@ __all__ = [
     "EventKind",
     "TraceSink",
     "JsonlWriterSink",
+    "RotatingJsonlSink",
     "ListSink",
+    "NullSink",
     "TRACE_FORMATS",
     "export_trace",
     "write_jsonl",
@@ -78,6 +83,8 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_snapshot",
+    "prometheus_counters",
+    "prometheus_gauges",
     "write_prometheus",
     "format_report",
     "format_convergence_table",
@@ -96,4 +103,5 @@ __all__ = [
     "GOLDEN_BENCHMARKS",
     "record_golden",
     "compare_golden",
+    "load_fingerprint",
 ]

@@ -18,8 +18,9 @@ stream:
 from __future__ import annotations
 
 import json
+import re
 import time
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .events import EventKind, TraceEvent
 
@@ -32,6 +33,8 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_snapshot",
+    "prometheus_counters",
+    "prometheus_gauges",
     "write_prometheus",
     "export_trace",
 ]
@@ -281,6 +284,53 @@ def prometheus_snapshot(events: Sequence[TraceEvent]) -> str:
            "Mean probes per insert per rank at last snapshot",
            [({"rank": r, "table": t}, v)
             for (r, t), v in sorted(table_probes.items())])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _PROM_NAME_BAD.sub("_", name)
+
+
+def prometheus_counters(
+    counters: Mapping[str, float],
+    *,
+    prefix: str = "repro_",
+    help_text: Mapping[str, str] | None = None,
+) -> str:
+    """Render a :attr:`Tracer.counters` dict as Prometheus counter metrics.
+
+    The service layer scrapes live cumulative counters rather than an
+    end-of-run event stream, so this renders the counter *dict* directly
+    (names are sanitized and prefixed; values must be monotone, which
+    :meth:`Tracer.add_counter` guarantees for non-negative increments).
+    """
+    help_text = help_text or {}
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# HELP {metric} {help_text.get(name, 'Cumulative counter')}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_gauges(
+    gauges: Mapping[str, float],
+    *,
+    prefix: str = "repro_",
+    help_text: Mapping[str, str] | None = None,
+) -> str:
+    """Render point-in-time values as Prometheus gauge metrics."""
+    help_text = help_text or {}
+    lines: list[str] = []
+    for name in sorted(gauges):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# HELP {metric} {help_text.get(name, 'Point-in-time gauge')}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]:g}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -394,7 +394,15 @@ def format_drift_table(drifts: Sequence[Drift]) -> str:
 
 @dataclass(frozen=True)
 class GoldenSpec:
-    """One gated benchmark: a deterministic graph + detection configuration."""
+    """One gated benchmark: a deterministic graph + detection configuration.
+
+    ``dynamic`` switches the benchmark to the dynamic-graph repair path: a
+    cold full run establishes the base partition, a deterministic edge batch
+    (``num_add`` random insertions, ``num_remove`` existing-edge deletions,
+    generated from ``batch_seed``) mutates the graph, and the *traced* run is
+    the warm-start repair via
+    :func:`~repro.parallel.dynamic.incremental_louvain`.
+    """
 
     name: str
     description: str
@@ -403,6 +411,7 @@ class GoldenSpec:
     seed: int = 0
     algorithm: str = "parallel"
     num_ranks: int = 4
+    dynamic: dict[str, Any] | None = None
 
     def build_graph(self):
         """Deterministically construct the benchmark graph (lazy imports)."""
@@ -453,6 +462,39 @@ GOLDEN_BENCHMARKS: dict[str, GoldenSpec] = {
             params=dict(name="Amazon", scale=0.5),
             seed=0,
         ),
+        GoldenSpec(
+            name="lfr-naive",
+            description="Naive parallel variant (no Eq.-7 throttle) on LFR",
+            family="lfr",
+            params=dict(
+                num_vertices=600, avg_degree=12, max_degree=40, mixing=0.2,
+                min_community=12, max_community=80,
+            ),
+            seed=42,
+            algorithm="naive",
+        ),
+        GoldenSpec(
+            name="lfr-sequential",
+            description="Sequential Algorithm-1 baseline on LFR",
+            family="lfr",
+            params=dict(
+                num_vertices=600, avg_degree=12, max_degree=40, mixing=0.2,
+                min_community=12, max_community=80,
+            ),
+            seed=42,
+            algorithm="sequential",
+        ),
+        GoldenSpec(
+            name="lfr-dynamic",
+            description="Warm-start repair after a deterministic edge batch",
+            family="lfr",
+            params=dict(
+                num_vertices=400, avg_degree=10, max_degree=30, mixing=0.2,
+                min_community=10, max_community=60,
+            ),
+            seed=7,
+            dynamic=dict(num_add=60, num_remove=40, batch_seed=11),
+        ),
     ]
 }
 
@@ -464,6 +506,28 @@ def golden_path(spec: GoldenSpec, directory: str) -> str:
     return os.path.join(directory, f"{spec.name}.jsonl")
 
 
+def _dynamic_batch(graph: Any, dynamic: dict[str, Any]) -> Any:
+    """Deterministic edge batch for a dynamic golden benchmark."""
+    import numpy as np
+
+    from ..parallel import EdgeBatch
+
+    rng = np.random.default_rng(int(dynamic.get("batch_seed", 0)))
+    n = graph.num_vertices
+    num_add = int(dynamic.get("num_add", 0))
+    num_remove = int(dynamic.get("num_remove", 0))
+    add_src = rng.integers(0, n, size=num_add)
+    # Draw from [0, n-2] and shift past add_src so additions never self-loop.
+    add_dst = rng.integers(0, n - 1, size=num_add)
+    add_dst = np.where(add_dst >= add_src, add_dst + 1, add_dst)
+    src, dst, _ = graph.edge_arrays()
+    rem = rng.choice(src.size, size=min(num_remove, int(src.size)), replace=False)
+    return EdgeBatch(
+        add_src=add_src, add_dst=add_dst,
+        remove_src=src[rem], remove_dst=dst[rem],
+    )
+
+
 def run_spec(
     spec: GoldenSpec,
     *,
@@ -473,25 +537,45 @@ def run_spec(
     """Run one benchmark; returns the tracer (closed if sink-backed).
 
     ``perturb_p1`` multiplies the Eq.-7 schedule's p1 -- the gate's
-    self-test knob: a perturbed schedule must register as drift.
+    self-test knob: a perturbed schedule must register as drift.  (It only
+    affects benchmarks that use the schedule, i.e. ``algorithm="parallel"``,
+    including the dynamic warm-start specs.)
     """
     from ..parallel import ExponentialSchedule, detect_communities
     from .tracer import Tracer
 
     schedule = None
-    if spec.algorithm in ("parallel",) and not math.isclose(perturb_p1, 1.0):
+    if spec.algorithm == "parallel" and not math.isclose(perturb_p1, 1.0):
         base = ExponentialSchedule()
         schedule = ExponentialSchedule(p1=base.p1 * perturb_p1, p2=base.p2)
     graph = spec.build_graph()
     tracer = Tracer(sink=sink, buffer=sink is None)
-    detect_communities(
-        graph,
-        algorithm=spec.algorithm,  # type: ignore[arg-type]
-        num_ranks=spec.num_ranks,
-        schedule=schedule,
-        seed=spec.seed,
-        tracer=tracer,
-    )
+    if spec.dynamic is not None:
+        from ..parallel import ParallelLouvainConfig, incremental_louvain
+
+        # The traced run is the *repair*: cold base run (untraced), then a
+        # deterministic batch, then the warm start under the tracer.
+        base_run = detect_communities(
+            graph, algorithm="parallel", num_ranks=spec.num_ranks,
+            seed=spec.seed,
+        )
+        batch = _dynamic_batch(graph, spec.dynamic)
+        cfg_kwargs: dict[str, Any] = dict(num_ranks=spec.num_ranks)
+        if schedule is not None:
+            cfg_kwargs["schedule"] = schedule
+        incremental_louvain(
+            graph, batch, base_run.membership,
+            ParallelLouvainConfig(**cfg_kwargs), tracer=tracer,
+        )
+    else:
+        detect_communities(
+            graph,
+            algorithm=spec.algorithm,  # type: ignore[arg-type]
+            num_ranks=spec.num_ranks,
+            schedule=schedule,
+            seed=spec.seed,
+            tracer=tracer,
+        )
     tracer.close()
     return tracer
 

@@ -21,11 +21,19 @@ throughput if live visibility does not matter.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from typing import Protocol, runtime_checkable
 
 from .events import TraceEvent
 
-__all__ = ["TraceSink", "JsonlWriterSink", "ListSink"]
+__all__ = [
+    "TraceSink",
+    "JsonlWriterSink",
+    "RotatingJsonlSink",
+    "ListSink",
+    "NullSink",
+]
 
 
 @runtime_checkable
@@ -77,6 +85,111 @@ class JsonlWriterSink:
         self.close()
 
 
+class RotatingJsonlSink:
+    """JSONL sink that rotates into size-capped segment files.
+
+    A long-lived process (``repro serve``) emits an unbounded event stream;
+    a single append-only file would grow forever.  This sink writes the same
+    one-event-per-line format as :class:`JsonlWriterSink`, but into numbered
+    segments next to ``path``: ``trace.jsonl`` becomes ``trace.00000.jsonl``,
+    ``trace.00001.jsonl``, ... A segment is closed once writing the next
+    event would push it past ``max_segment_bytes`` (events are never split
+    across segments, so every segment is valid JSONL on its own and a
+    single oversized event still lands whole).  With ``max_segments`` set,
+    the oldest segment is deleted on rotation, bounding total disk use to
+    roughly ``max_segments * max_segment_bytes``.
+
+    Writes are serialized with a lock: a service traces many concurrent jobs
+    into one sink, and interleaved *lines* are fine but interleaved *partial
+    lines* would corrupt the stream.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_segment_bytes: int = 4_000_000,
+        max_segments: int | None = None,
+        flush_every: int = 1,
+    ) -> None:
+        if max_segment_bytes < 1:
+            raise ValueError("max_segment_bytes must be >= 1")
+        if max_segments is not None and max_segments < 1:
+            raise ValueError("max_segments must be >= 1 (or None for unlimited)")
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = path
+        self.max_segment_bytes = int(max_segment_bytes)
+        self.max_segments = max_segments
+        self.flush_every = int(flush_every)
+        self.num_events = 0
+        self.segment_paths: list[str] = []
+        self._lock = threading.Lock()
+        self._index = 0
+        self._segment_bytes = 0
+        self._closed = False
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(self._segment_path(0), "w", encoding="utf-8")
+        self.segment_paths.append(self._segment_path(0))
+
+    def _segment_path(self, index: int) -> str:
+        root, ext = os.path.splitext(self.path)
+        return f"{root}.{index:05d}{ext or '.jsonl'}"
+
+    @property
+    def current_segment(self) -> str:
+        return self.segment_paths[-1]
+
+    def _rotate(self) -> None:
+        self._fh.flush()
+        self._fh.close()
+        self._index += 1
+        path = self._segment_path(self._index)
+        self._fh = open(path, "w", encoding="utf-8")
+        self._segment_bytes = 0
+        self.segment_paths.append(path)
+        if self.max_segments is not None:
+            while len(self.segment_paths) > self.max_segments:
+                oldest = self.segment_paths.pop(0)
+                try:
+                    os.remove(oldest)
+                except OSError:
+                    pass  # already gone; bounding disk use is best-effort
+
+    def write(self, event: TraceEvent) -> None:
+        line = json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        nbytes = len(line.encode("utf-8"))
+        with self._lock:
+            if self._closed:
+                raise ValueError(f"sink for {self.path} is closed")
+            if self._segment_bytes and self._segment_bytes + nbytes > self.max_segment_bytes:
+                self._rotate()
+            self._fh.write(line)
+            self._segment_bytes += nbytes
+            self.num_events += 1
+            if self.num_events % self.flush_every == 0:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._fh.flush()
+                self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "RotatingJsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class ListSink:
     """Collects events in a plain list (tests and notebook use)."""
 
@@ -85,6 +198,21 @@ class ListSink:
 
     def write(self, event: TraceEvent) -> None:
         self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink:
+    """Discards every event (a sink-shaped /dev/null).
+
+    Lets long-lived components run a ``Tracer(sink=..., buffer=False)`` for
+    its *counters* alone -- the cumulative counter dict survives even though
+    no event is retained -- without growing an in-memory event list.
+    """
+
+    def write(self, event: TraceEvent) -> None:
+        pass
 
     def close(self) -> None:
         pass

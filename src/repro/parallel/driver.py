@@ -64,6 +64,7 @@ def detect_communities(
     machine: MachineModel | None = None,
     threads: int | None = None,
     seed: int | None = 0,
+    initial_membership: np.ndarray | None = None,
     tracer: Tracer | None = None,
     trace_path: str | None = None,
     trace_stream: bool = False,
@@ -85,6 +86,11 @@ def detect_communities(
     machine:
         Optional machine model; when given, the summary includes modeled
         per-phase and total seconds for the run.
+    initial_membership:
+        Warm-start the parallel algorithm from an existing partition instead
+        of singletons (the dynamic-graph serving path; see
+        :mod:`repro.parallel.dynamic`).  Only ``algorithm="parallel"``
+        supports it.
     threads:
         Threads per node for the machine model (defaults to the machine's).
     tracer:
@@ -128,6 +134,10 @@ def detect_communities(
             )
         if sanitize not in (None, False):
             raise TypeError("sanitize is only supported for the parallel variants")
+        if initial_membership is not None:
+            raise TypeError(
+                "initial_membership is only supported for algorithm='parallel'"
+            )
         res = _sequential_louvain(graph, seed=seed, tracer=tracer)
         summary = DetectionSummary(
             algorithm="sequential",
@@ -148,11 +158,18 @@ def detect_communities(
         **config_overrides,
     )
     if algorithm == "naive":
+        if initial_membership is not None:
+            raise TypeError(
+                "initial_membership is only supported for algorithm='parallel'"
+            )
         result: ParallelLouvainResult = naive_parallel_louvain(
             graph, cfg, tracer=tracer, sanitize=sanitize
         )
     else:
-        result = parallel_louvain(graph, cfg, tracer=tracer, sanitize=sanitize)
+        result = parallel_louvain(
+            graph, cfg, initial_membership=initial_membership,
+            tracer=tracer, sanitize=sanitize,
+        )
 
     summary = DetectionSummary(
         algorithm=algorithm,

@@ -157,6 +157,9 @@ def incremental_louvain(
     batch: EdgeBatch,
     previous_membership: np.ndarray,
     config: ParallelLouvainConfig | None = None,
+    *,
+    tracer=None,
+    sanitize=None,
     **kwargs,
 ) -> tuple[Graph, ParallelLouvainResult]:
     """Mutate ``graph`` by ``batch`` and repair the communities.
@@ -164,6 +167,11 @@ def incremental_louvain(
     ``previous_membership`` covers the *old* vertex set; vertices the batch
     introduces start in fresh singleton communities.  Returns the new graph
     together with the warm-started result.
+
+    ``tracer`` and ``sanitize`` pass straight through to
+    :func:`~repro.parallel.louvain.parallel_louvain`, so a warm-start repair
+    traces and sanitizes exactly like a cold run (the service layer and the
+    ``lfr-dynamic`` golden benchmark rely on this).
     """
     if config is None:
         config = ParallelLouvainConfig(**kwargs)
@@ -181,5 +189,8 @@ def incremental_louvain(
         membership = np.concatenate([previous_membership, fresh])
     else:
         membership = previous_membership
-    result = parallel_louvain(new_graph, config, initial_membership=membership)
+    result = parallel_louvain(
+        new_graph, config, initial_membership=membership,
+        tracer=tracer, sanitize=sanitize,
+    )
     return new_graph, result

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..analysis.sanitizer import Sanitizer
 from ..graph import Graph
+from ..metrics.modularity import modularity_from_labels
 from ..observability.tracer import NULL_TRACER, Tracer
 from ..runtime import Simulation
 from ..runtime.profiler import PhaseCounters
@@ -712,6 +713,17 @@ def parallel_louvain(
 
     membership = np.arange(graph.num_vertices, dtype=np.int64)
     prev_level_q = -1.0
+    # Modularity of the partition each level starts from.  Simultaneous
+    # positive-gain moves can jointly *overshoot* (two vertices each join
+    # the other's target and the combined move lands below the start, a
+    # known hazard of parallel Louvain's stale-state updates, §III), and
+    # REFINE can never split a community back apart -- so a level that ends
+    # below its own starting point is discarded wholesale below.
+    level_start_q = modularity_from_labels(
+        graph,
+        membership if initial_membership is None else initial_membership,
+        resolution=config.resolution,
+    )
 
     for level in range(config.max_levels):
         n_level = partition.num_vertices
@@ -799,6 +811,18 @@ def parallel_louvain(
                 tracer.table_stats(level, st.rank, "out", st.tables.out_table.stats())
             tracer.level_end(level, modularity=q, iterations=len(iter_stats))
 
+        if q < level_start_q - 1e-12:
+            # The level's simultaneous moves overshot below its starting
+            # partition; keep the pre-level membership instead of locking
+            # in the regression (contraction cannot undo it).  At level 0 a
+            # warm start means the pre-level partition is the caller's, not
+            # the identity labeling.
+            if level == 0 and initial_membership is not None:
+                membership = np.asarray(
+                    initial_membership, dtype=np.int64
+                ).copy()
+            break
+
         if q - prev_level_q <= config.outer_tol and result.level_labels:
             break
 
@@ -835,6 +859,7 @@ def parallel_louvain(
         if q - prev_level_q <= config.outer_tol:
             break
         prev_level_q = q
+        level_start_q = q  # contraction preserves Q exactly
         if new_partition.num_vertices == partition.num_vertices:
             break
         partition = new_partition

@@ -1,0 +1,51 @@
+"""Long-lived community-detection service (the serve-traffic subsystem).
+
+The paper closes by aiming its dynamic hash-based graph representation at
+"large-scale dynamic graph problems ... where the topology of the graph
+changes very frequently" (§IV-A, §VII).  This package turns the one-shot
+library into that long-lived system:
+
+* :mod:`repro.service.jobs` -- the job model and a bounded priority queue
+  with backpressure, per-job timeout, cancellation and
+  retry-with-exponential-backoff;
+* :mod:`repro.service.workers` -- the worker pool (full
+  :func:`~repro.parallel.detect_communities` runs and
+  :func:`~repro.parallel.dynamic.incremental_louvain` warm-start updates)
+  and the embeddable :class:`DetectionService` facade; every job is traced
+  through :mod:`repro.observability` into a shared streaming sink;
+* :mod:`repro.service.store` -- the versioned snapshot store behind
+  point-in-time membership queries and version diffs;
+* :mod:`repro.service.server` -- the stdlib HTTP API (``repro serve``) with
+  ``/healthz`` and Prometheus ``/metrics``.
+"""
+
+from .jobs import (
+    Job,
+    JobCancelled,
+    JobQueue,
+    JobState,
+    QueueClosedError,
+    QueueFullError,
+    TransientJobError,
+)
+from .server import ServiceServer, run_server
+from .store import Snapshot, SnapshotDiff, SnapshotStore
+from .workers import DetectionService, JobContext, WorkerPool
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobQueue",
+    "JobContext",
+    "JobCancelled",
+    "QueueFullError",
+    "QueueClosedError",
+    "TransientJobError",
+    "WorkerPool",
+    "DetectionService",
+    "Snapshot",
+    "SnapshotDiff",
+    "SnapshotStore",
+    "ServiceServer",
+    "run_server",
+]

@@ -1,0 +1,367 @@
+"""Stdlib-only HTTP API over :class:`~repro.service.workers.DetectionService`.
+
+``repro serve`` binds a :class:`ServiceServer` (a
+``http.server.ThreadingHTTPServer``, one thread per request, so ``/healthz``
+and ``/metrics`` answer while detection jobs are in flight) exposing:
+
+=======  =======================  ==========================================
+method   path                     semantics
+=======  =======================  ==========================================
+POST     ``/graph``               submit a full detection job; body is JSON
+                                  ``{"edges": [[u, v], [u, v, w], ...]}``
+                                  (plus optional ``num_vertices`` and job /
+                                  detect options) or a plain-text edge list;
+                                  202 with ``{"job_id": ...}``
+POST     ``/edges``               submit an edge-batch warm-start update;
+                                  JSON ``{"add": [[u, v(, w)], ...],
+                                  "remove": [[u, v], ...]}``; 202
+GET      ``/jobs/<id>``           job status / result / error
+DELETE   ``/jobs/<id>``           cancel (pending or running)
+GET      ``/membership``          community assignment; ``?vertex=`` for one
+                                  vertex, ``?version=`` for point-in-time
+GET      ``/versions``            retained snapshot metadata
+GET      ``/diff?from=A&to=B``    community churn between two versions
+GET      ``/healthz``             liveness + queue/worker/store gauges
+GET      ``/metrics``             Prometheus text (job counters + gauges)
+POST     ``/shutdown``            drain and stop the server
+=======  =======================  ==========================================
+
+Backpressure: when the job queue is full, POSTs return **503** with a
+``Retry-After`` header instead of blocking the request thread or silently
+dropping the job -- the submitter decides whether to retry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from .jobs import QueueClosedError, QueueFullError
+from .workers import DetectionService
+
+__all__ = ["ServiceServer", "run_server"]
+
+
+class _BadRequest(ValueError):
+    """Client error -> 400 with the message in the JSON body."""
+
+
+def _parse_edge_rows(rows, what: str):
+    """``[[u, v], [u, v, w], ...]`` -> (src, dst, weight|None) arrays."""
+    src, dst, wt = [], [], []
+    weighted = False
+    for i, row in enumerate(rows):
+        if not isinstance(row, (list, tuple)) or len(row) not in (2, 3):
+            raise _BadRequest(
+                f"{what}[{i}]: expected [u, v] or [u, v, w], got {row!r}"
+            )
+        src.append(int(row[0]))
+        dst.append(int(row[1]))
+        if len(row) == 3:
+            weighted = True
+            wt.append(float(row[2]))
+        else:
+            wt.append(1.0)
+    return (
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(wt, dtype=np.float64) if weighted else None,
+    )
+
+
+def _graph_from_body(body: bytes, content_type: str):
+    from ..graph import Graph, read_edge_list
+
+    if "json" in content_type:
+        try:
+            doc = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(doc, dict) or "edges" not in doc:
+            raise _BadRequest('JSON graph body needs an "edges" array')
+        src, dst, wt = _parse_edge_rows(doc["edges"], "edges")
+        num_vertices = doc.get("num_vertices")
+        graph = Graph.from_edges(
+            src, dst, wt,
+            num_vertices=None if num_vertices is None else int(num_vertices),
+        )
+        return graph, doc
+    # Fall back to the plain-text edge-list format `repro detect` reads.
+    import io
+
+    try:
+        graph = read_edge_list(io.StringIO(body.decode("utf-8")))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise _BadRequest(f"cannot parse edge-list body: {exc}") from exc
+    return graph, {}
+
+
+def _batch_from_body(body: bytes):
+    from ..parallel import EdgeBatch
+
+    try:
+        doc = json.loads(body or b"{}")
+    except json.JSONDecodeError as exc:
+        raise _BadRequest(f"invalid JSON body: {exc}") from exc
+    if not isinstance(doc, dict) or ("add" not in doc and "remove" not in doc):
+        raise _BadRequest('edge-batch body needs "add" and/or "remove" arrays')
+    add_src, add_dst, add_wt = _parse_edge_rows(doc.get("add", []), "add")
+    rem_src, rem_dst, _ = _parse_edge_rows(doc.get("remove", []), "remove")
+    try:
+        batch = EdgeBatch(
+            add_src=add_src, add_dst=add_dst,
+            add_weight=add_wt if add_wt is not None else np.ones(add_src.size),
+            remove_src=rem_src, remove_dst=rem_dst,
+        )
+    except ValueError as exc:
+        raise _BadRequest(str(exc)) from exc
+    return batch, doc
+
+
+def _job_options(doc: dict) -> dict:
+    """Extract queue-level knobs (priority/timeout/retries) from a body."""
+    opts = {}
+    if "priority" in doc:
+        opts["priority"] = int(doc["priority"])
+    if "timeout_s" in doc:
+        opts["timeout"] = float(doc["timeout_s"])
+    if "max_retries" in doc:
+        opts["max_retries"] = int(doc["max_retries"])
+    return opts
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceServer"  # set by ThreadingHTTPServer machinery
+    protocol_version = "HTTP/1.1"
+
+    # ---------------------------------------------------------------- #
+    # Plumbing
+    # ---------------------------------------------------------------- #
+
+    @property
+    def service(self) -> DetectionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # noqa: A003 - BaseHTTPRequestHandler API
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload, *, headers: dict | None = None) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            ctype = "text/plain; charset=utf-8"
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            ctype = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _query(self) -> dict[str, str]:
+        qs = parse_qs(urlparse(self.path).query)
+        return {k: v[-1] for k, v in qs.items()}
+
+    @property
+    def _route(self) -> str:
+        return urlparse(self.path).path.rstrip("/") or "/"
+
+    # ---------------------------------------------------------------- #
+    # Dispatch
+    # ---------------------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            self._dispatch_get()
+        except _BadRequest as exc:
+            self._send(400, {"error": str(exc)})
+        except KeyError as exc:
+            self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            self._dispatch_post()
+        except _BadRequest as exc:
+            self._send(400, {"error": str(exc)})
+        except QueueFullError as exc:
+            self.service.tracer.add_counter("service_jobs_rejected", 1)
+            self._send(503, {"error": str(exc)}, headers={"Retry-After": "1"})
+        except QueueClosedError as exc:
+            self._send(503, {"error": str(exc)})
+        except KeyError as exc:
+            self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            route = self._route
+            if route.startswith("/jobs/"):
+                job_id = route[len("/jobs/"):]
+                effective = self.service.cancel(job_id)
+                job = self.service.job(job_id)
+                self._send(200, {"job_id": job_id, "cancelled": effective,
+                                 "state": job.state})
+                return
+            self._send(404, {"error": f"no route DELETE {route}"})
+        except KeyError as exc:
+            self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+
+    # ---------------------------------------------------------------- #
+    # GET routes
+    # ---------------------------------------------------------------- #
+
+    def _dispatch_get(self) -> None:
+        route = self._route
+        if route == "/healthz":
+            self._send(200, self.service.health())
+        elif route == "/metrics":
+            self._send(200, self.service.metrics_text())
+        elif route == "/versions":
+            self._send(200, {"versions": self.service.store.versions()})
+        elif route == "/membership":
+            self._get_membership()
+        elif route == "/diff":
+            self._get_diff()
+        elif route.startswith("/jobs/"):
+            job = self.service.job(route[len("/jobs/"):])
+            self._send(200, job.as_dict())
+        else:
+            self._send(404, {"error": f"no route GET {route}"})
+
+    def _get_membership(self) -> None:
+        q = self._query()
+        version = int(q["version"]) if "version" in q else None
+        snap = self.service.snapshot(version)
+        if "vertex" in q:
+            vertex = int(q["vertex"])
+            community = self.service.membership(vertex, version)
+            self._send(200, {
+                "version": snap.version, "vertex": vertex,
+                "community": community, "modularity": snap.modularity,
+            })
+        else:
+            self._send(200, {
+                "version": snap.version,
+                "modularity": snap.modularity,
+                "num_communities": snap.num_communities,
+                "membership": snap.membership.tolist(),
+            })
+
+    def _get_diff(self) -> None:
+        q = self._query()
+        if "from" not in q or "to" not in q:
+            raise _BadRequest("diff needs ?from=VERSION&to=VERSION")
+        diff = self.service.diff(int(q["from"]), int(q["to"]))
+        payload = diff.meta()
+        payload["moved_vertices"] = diff.moved_vertices.tolist()
+        payload["added_vertices"] = diff.added_vertices.tolist()
+        self._send(200, payload)
+
+    # ---------------------------------------------------------------- #
+    # POST routes
+    # ---------------------------------------------------------------- #
+
+    def _dispatch_post(self) -> None:
+        route = self._route
+        if route == "/graph":
+            graph, doc = _graph_from_body(
+                self._body(), self.headers.get("Content-Type", "application/json")
+            )
+            detect_opts = {
+                k: doc[k] for k in ("algorithm", "num_ranks", "seed") if k in doc
+            }
+            job = self.service.submit_graph(
+                graph, **_job_options(doc), **detect_opts
+            )
+            self._send(202, {"job_id": job.job_id, "state": job.state,
+                             "num_vertices": graph.num_vertices,
+                             "num_edges": graph.num_edges})
+        elif route == "/edges":
+            batch, doc = _batch_from_body(self._body())
+            update_opts = {}
+            if "num_ranks" in doc:
+                update_opts["num_ranks"] = int(doc["num_ranks"])
+            base = doc.get("base_version")
+            job = self.service.submit_edge_batch(
+                batch, base_version=None if base is None else int(base),
+                **_job_options(doc), **update_opts,
+            )
+            self._send(202, {"job_id": job.job_id, "state": job.state,
+                             "num_additions": batch.num_additions,
+                             "num_removals": batch.num_removals})
+        elif route == "/shutdown":
+            self._send(202, {"status": "shutting down"})
+            threading.Thread(
+                target=self.server.stop, daemon=True  # type: ignore[attr-defined]
+            ).start()
+        else:
+            self._send(404, {"error": f"no route POST {route}"})
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`DetectionService`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports the
+    actual one.  :meth:`serve_background` runs the accept loop in a daemon
+    thread; :meth:`stop` shuts the loop down and closes the service.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: DetectionService,
+        host: str = "127.0.0.1",
+        port: int = 8737,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        self._stopped = threading.Event()
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+    def serve_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Stop accepting requests, then close the service (idempotent)."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def run_server(server: ServiceServer) -> None:
+    """Foreground accept loop with clean Ctrl-C shutdown (the CLI path)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.stop()

@@ -1,0 +1,235 @@
+"""Versioned snapshot store: graph-version -> communities + modularity.
+
+Every completed job publishes a :class:`Snapshot` (the mutated graph, its
+membership array and modularity) under a monotonically increasing version
+number.  The store answers the service's read path:
+
+* **point-in-time membership** -- ``membership(vertex, version=...)`` looks
+  up one vertex's community in any retained version, not just the latest
+  (a client that posted an edge batch can keep querying the version its
+  caches were built against while the update job runs);
+* **version diff** -- :meth:`SnapshotStore.diff` aligns two versions'
+  community labelings by maximal overlap and reports which vertices moved.
+  Louvain labels are arbitrary integers with no identity across runs, so a
+  raw ``a != b`` comparison would count relabelings as churn; the greedy
+  best-overlap matching makes "moved" mean "left the community that most of
+  its old community went to";
+* **bounded retention** -- with ``capacity`` set, the oldest snapshots are
+  evicted as new ones land (each holds a full graph + membership, so a
+  long-lived service must not retain its whole history).
+
+All methods are thread-safe; workers publish while HTTP readers query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["Snapshot", "SnapshotDiff", "SnapshotStore"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published detection result (immutable once stored)."""
+
+    version: int
+    graph: Graph = field(repr=False)
+    membership: np.ndarray = field(repr=False)
+    modularity: float
+    kind: str  # "full" | "update"
+    job_id: str | None = None
+    parent_version: int | None = None
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.membership.size)
+
+    @property
+    def num_communities(self) -> int:
+        return int(np.unique(self.membership).size)
+
+    def meta(self) -> dict[str, Any]:
+        """JSON-serializable summary (no arrays)."""
+        return {
+            "version": self.version,
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "parent_version": self.parent_version,
+            "num_vertices": self.num_vertices,
+            "num_edges": int(self.graph.num_edges),
+            "num_communities": self.num_communities,
+            "modularity": float(self.modularity),
+            "created_at": self.created_at,
+        }
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """How the communities changed between two retained versions."""
+
+    from_version: int
+    to_version: int
+    modularity_delta: float
+    num_communities_from: int
+    num_communities_to: int
+    #: Vertices present in both versions whose community moved (after
+    #: best-overlap label alignment).
+    moved_vertices: np.ndarray = field(repr=False)
+    #: Vertices that exist only in the newer version (graph growth).
+    added_vertices: np.ndarray = field(repr=False)
+
+    @property
+    def num_moved(self) -> int:
+        return int(self.moved_vertices.size)
+
+    @property
+    def num_added(self) -> int:
+        return int(self.added_vertices.size)
+
+    def meta(self) -> dict[str, Any]:
+        return {
+            "from_version": self.from_version,
+            "to_version": self.to_version,
+            "modularity_delta": float(self.modularity_delta),
+            "num_communities_from": self.num_communities_from,
+            "num_communities_to": self.num_communities_to,
+            "num_moved": self.num_moved,
+            "num_added": self.num_added,
+        }
+
+
+def _align_labels(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vertices (over the common prefix) that left their community.
+
+    For each community of ``a``, the community of ``b`` holding the
+    plurality of its members is its image; members of ``a``'s community
+    that are not in that image count as moved.
+    """
+    n = min(a.size, b.size)
+    a, b = a[:n], b[:n]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    # Contingency over (a-label, b-label) pairs via a packed key.
+    _, a_ids = np.unique(a, return_inverse=True)
+    b_vals, b_ids = np.unique(b, return_inverse=True)
+    key = a_ids.astype(np.int64) * np.int64(b_vals.size) + b_ids
+    pairs, counts = np.unique(key, return_counts=True)
+    pair_a = pairs // b_vals.size
+    pair_b = pairs % b_vals.size
+    # Pick, per a-community, the b-community with the largest overlap.
+    order = np.lexsort((-counts, pair_a))
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = pair_a[order][1:] != pair_a[order][:-1]
+    image = np.full(int(pair_a.max()) + 1, -1, dtype=np.int64)
+    image[pair_a[order][first]] = pair_b[order][first]
+    return np.flatnonzero(image[a_ids] != b_ids).astype(np.int64)
+
+
+class SnapshotStore:
+    """Thread-safe, optionally capacity-bounded version history."""
+
+    def __init__(self, capacity: int | None = 32) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unlimited)")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._snapshots: dict[int, Snapshot] = {}
+        self._next_version = 1
+
+    def put(
+        self,
+        graph: Graph,
+        membership: np.ndarray,
+        modularity: float,
+        *,
+        kind: str,
+        job_id: str | None = None,
+        parent_version: int | None = None,
+    ) -> Snapshot:
+        membership = np.asarray(membership, dtype=np.int64)
+        if membership.size != graph.num_vertices:
+            raise ValueError(
+                f"membership covers {membership.size} vertices, "
+                f"graph has {graph.num_vertices}"
+            )
+        with self._lock:
+            snap = Snapshot(
+                version=self._next_version,
+                graph=graph,
+                membership=membership,
+                modularity=float(modularity),
+                kind=kind,
+                job_id=job_id,
+                parent_version=parent_version,
+            )
+            self._snapshots[snap.version] = snap
+            self._next_version += 1
+            if self.capacity is not None:
+                while len(self._snapshots) > self.capacity:
+                    del self._snapshots[min(self._snapshots)]
+            return snap
+
+    def get(self, version: int | None = None) -> Snapshot:
+        """The snapshot at ``version`` (None = latest); KeyError if absent."""
+        with self._lock:
+            if not self._snapshots:
+                raise KeyError("store holds no snapshots yet")
+            if version is None:
+                return self._snapshots[max(self._snapshots)]
+            try:
+                return self._snapshots[int(version)]
+            except KeyError:
+                raise KeyError(
+                    f"version {version} not retained "
+                    f"(have {sorted(self._snapshots)})"
+                ) from None
+
+    def latest_version(self) -> int | None:
+        with self._lock:
+            return max(self._snapshots) if self._snapshots else None
+
+    def versions(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [self._snapshots[v].meta() for v in sorted(self._snapshots)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    def membership(
+        self, vertex: int | None = None, version: int | None = None
+    ) -> Any:
+        """Community of one vertex, or the whole array, at a version."""
+        snap = self.get(version)
+        if vertex is None:
+            return snap.membership
+        v = int(vertex)
+        if not 0 <= v < snap.membership.size:
+            raise KeyError(
+                f"vertex {v} not in version {snap.version} "
+                f"(has {snap.membership.size} vertices)"
+            )
+        return int(snap.membership[v])
+
+    def diff(self, from_version: int, to_version: int) -> SnapshotDiff:
+        a = self.get(from_version)
+        b = self.get(to_version)
+        moved = _align_labels(a.membership, b.membership)
+        added = np.arange(a.num_vertices, b.num_vertices, dtype=np.int64)
+        return SnapshotDiff(
+            from_version=a.version,
+            to_version=b.version,
+            modularity_delta=b.modularity - a.modularity,
+            num_communities_from=a.num_communities,
+            num_communities_to=b.num_communities,
+            moved_vertices=moved,
+            added_vertices=added,
+        )

@@ -255,3 +255,53 @@ class TestGoldenEndToEnd:
         bad = dataclasses.replace(TINY, family="torus")
         with pytest.raises(ValueError):
             bad.build_graph()
+
+
+#: Test-only dynamic spec: cold run + edge batch + warm-start repair.
+TINY_DYNAMIC = dataclasses.replace(
+    TINY,
+    name="tiny-dynamic",
+    description="test-only dynamic repair",
+    dynamic=dict(num_add=20, num_remove=10, batch_seed=3),
+)
+
+
+class TestVariantAndDynamicGoldens:
+    def test_registry_includes_variant_and_dynamic_specs(self):
+        assert {"lfr-naive", "lfr-sequential", "lfr-dynamic"} <= set(
+            GOLDEN_BENCHMARKS
+        )
+        assert GOLDEN_BENCHMARKS["lfr-naive"].algorithm == "naive"
+        assert GOLDEN_BENCHMARKS["lfr-sequential"].algorithm == "sequential"
+        assert GOLDEN_BENCHMARKS["lfr-dynamic"].dynamic is not None
+
+    def test_dynamic_record_then_compare_clean(self, tmp_path):
+        path = golden_path(TINY_DYNAMIC, str(tmp_path))
+        n = record_golden(TINY_DYNAMIC, path)
+        assert n > 10
+        assert compare_golden(TINY_DYNAMIC, path) == []
+
+    def test_dynamic_perturbed_schedule_registers_drift(self, tmp_path):
+        """The warm-start repair runs the parallel schedule, so the gate's
+        perturbation self-test must trip on the dynamic path too."""
+        path = golden_path(TINY_DYNAMIC, str(tmp_path))
+        record_golden(TINY_DYNAMIC, path)
+        assert compare_golden(TINY_DYNAMIC, path, perturb_p1=4.0)
+
+    def test_dynamic_trace_is_the_repair_run_only(self, tmp_path):
+        """The cold bootstrap run stays untraced; the golden fingerprints
+        the incremental repair."""
+        tracer = run_spec(TINY_DYNAMIC)
+        starts = [e for e in tracer.events if e.kind == "run_start"]
+        assert len(starts) == 1  # one traced run, not two
+        fp = fingerprint_events(tracer.events)
+        assert fp.num_vertices == 200  # batch_seed=3 adds no new vertices
+
+    def test_sequential_spec_records_deterministically(self, tmp_path):
+        seq = dataclasses.replace(
+            TINY, name="tiny-seq", algorithm="sequential"
+        )
+        path = golden_path(seq, str(tmp_path))
+        record_golden(seq, path)
+        assert compare_golden(seq, path) == []
+        assert load_fingerprint(path).algorithm == "sequential"

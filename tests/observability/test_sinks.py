@@ -203,3 +203,97 @@ class TestFollowJsonl:
         t = Tracer()
         path.write_text(self._event_line(t, 0) + "\n" + self._event_line(t, 1))
         assert len(list(iter_jsonl(str(path)))) == 2
+
+
+class TestRotatingJsonlSink:
+    @staticmethod
+    def _emit(sink, n, payload_bytes=0):
+        t = Tracer(sink=sink, buffer=False)
+        for i in range(n):
+            t.emit(EventKind.COUNTER, f"c{i}", pad="x" * payload_bytes)
+
+    def test_single_small_segment(self, tmp_path):
+        from repro.observability import RotatingJsonlSink
+
+        sink = RotatingJsonlSink(str(tmp_path / "t.jsonl"))
+        self._emit(sink, 3)
+        sink.close()
+        assert sink.segment_paths == [str(tmp_path / "t.00000.jsonl")]
+        lines = (tmp_path / "t.00000.jsonl").read_text().splitlines()
+        assert [json.loads(ln)["name"] for ln in lines] == ["c0", "c1", "c2"]
+
+    def test_rotates_on_size(self, tmp_path):
+        from repro.observability import RotatingJsonlSink
+
+        sink = RotatingJsonlSink(
+            str(tmp_path / "t.jsonl"), max_segment_bytes=400
+        )
+        self._emit(sink, 12, payload_bytes=100)
+        sink.close()
+        assert len(sink.segment_paths) > 1
+        # Every segment stays under the cap and is independently valid JSONL.
+        total = 0
+        for seg in sink.segment_paths:
+            data = (tmp_path / seg.split("/")[-1]).read_bytes()
+            assert len(data) <= 400
+            total += len(data.splitlines())
+        assert total == 12
+
+    def test_oversized_event_lands_whole(self, tmp_path):
+        from repro.observability import RotatingJsonlSink
+
+        sink = RotatingJsonlSink(str(tmp_path / "t.jsonl"), max_segment_bytes=50)
+        self._emit(sink, 2, payload_bytes=300)  # each line alone exceeds cap
+        sink.close()
+        assert len(sink.segment_paths) == 2  # one event per segment, unsplit
+        for seg in sink.segment_paths:
+            (line,) = (tmp_path / seg.split("/")[-1]).read_text().splitlines()
+            json.loads(line)
+
+    def test_max_segments_prunes_oldest(self, tmp_path):
+        from repro.observability import RotatingJsonlSink
+
+        sink = RotatingJsonlSink(
+            str(tmp_path / "t.jsonl"), max_segment_bytes=200, max_segments=2
+        )
+        self._emit(sink, 10, payload_bytes=100)
+        sink.close()
+        kept = sorted(p.name for p in tmp_path.glob("t.*.jsonl"))
+        assert len(kept) == 2
+        assert kept == sorted(s.split("/")[-1] for s in sink.segment_paths)
+        assert "t.00000.jsonl" not in kept  # the oldest was deleted
+
+    def test_segments_readable_by_standard_reader(self, tmp_path):
+        from repro.observability import RotatingJsonlSink
+
+        sink = RotatingJsonlSink(str(tmp_path / "t.jsonl"), max_segment_bytes=300)
+        self._emit(sink, 6, payload_bytes=80)
+        sink.close()
+        names = []
+        for seg in sink.segment_paths:
+            names += [e.name for e in read_jsonl(seg)]
+        assert names == [f"c{i}" for i in range(6)]
+
+    def test_validation_and_closed_write(self, tmp_path):
+        from repro.observability import RotatingJsonlSink
+
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(str(tmp_path / "t.jsonl"), max_segment_bytes=0)
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(str(tmp_path / "t.jsonl"), max_segments=0)
+        sink = RotatingJsonlSink(str(tmp_path / "u.jsonl"))
+        sink.close()
+        t = Tracer(sink=sink, buffer=False)
+        with pytest.raises(ValueError, match="closed"):
+            t.emit(EventKind.COUNTER, "late")
+
+
+class TestNullSink:
+    def test_discards_events_but_keeps_counters(self):
+        from repro.observability import NullSink
+
+        t = Tracer(sink=NullSink(), buffer=False)
+        t.add_counter("jobs", 1)
+        t.add_counter("jobs", 2)
+        assert t.events == []
+        assert t.counters["jobs"] == 3.0

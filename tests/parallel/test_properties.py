@@ -80,6 +80,43 @@ def test_louvain_beats_singletons(graph):
     assert modularity(graph, res.membership) >= singles - 1e-9
 
 
+def test_simultaneous_overshoot_level_is_discarded():
+    """Regression: on this 3-vertex graph with heavy self-loops, vertices 1
+    and 2 each have an individually positive gain for joining community 0,
+    but the *simultaneous* move lands everything in one community at Q=0 --
+    below the singleton baseline -- and REFINE can never split it apart.
+    The kernel must discard such a level rather than lock in the loss."""
+    src = np.array([0, 0, 0, 1, 2])
+    dst = np.array([0, 1, 2, 1, 2])
+    w = np.array([10.0, 8.0, 4.0, 2.0, 1.0])
+    graph = Graph.from_edges(src, dst, w)
+    singles = modularity(graph, np.arange(graph.num_vertices))
+    for num_ranks in (1, 2):
+        res = parallel_louvain(graph, num_ranks=num_ranks)
+        assert modularity(graph, res.membership) >= singles - 1e-9
+
+
+def test_overshoot_discard_preserves_warm_start():
+    """Companion regression: when the discarded level started from a warm
+    start, the fallback must be the caller's partition, not the identity."""
+    indptr = np.array([0, 4, 7, 12, 14, 15, 16, 17] + [17] * 9)
+    indices = np.array([0, 1, 2, 3, 0, 2, 4, 0, 1, 3, 5, 6, 0, 2, 1, 2, 2])
+    weights = np.array(
+        [24.0, 4, 2, 1, 4, 2, 1, 2, 2, 4, 2, 1, 1, 4, 1, 2, 1]
+    )
+    strength = np.zeros(16)
+    for u in range(16):
+        strength[u] = weights[indptr[u]:indptr[u + 1]].sum()
+    graph = Graph(indptr, indices, weights, strength, 29.0)
+    first = parallel_louvain(graph, num_ranks=1)
+    second = parallel_louvain(
+        graph, num_ranks=1, initial_membership=first.membership
+    )
+    q1 = modularity(graph, first.membership)
+    q2 = modularity(graph, second.membership)
+    assert q2 >= q1 - 1e-9
+
+
 @given(graphs(), st.integers(1, 4))
 @settings(max_examples=40, deadline=None)
 def test_membership_is_valid_labeling(graph, num_ranks):

@@ -1,0 +1,96 @@
+"""Tests for the versioned snapshot store and label-aligned diffs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.service import SnapshotStore
+from repro.service.store import _align_labels
+
+
+def line_graph(n):
+    src = np.arange(n - 1)
+    return Graph.from_edges(src, src + 1, num_vertices=n)
+
+
+class TestSnapshotStore:
+    def test_versions_are_monotonic(self):
+        store = SnapshotStore()
+        g = line_graph(4)
+        m = np.zeros(4, dtype=np.int64)
+        assert store.put(g, m, 0.1, kind="full").version == 1
+        assert store.put(g, m, 0.2, kind="update", parent_version=1).version == 2
+        assert store.latest_version() == 2
+
+    def test_membership_size_validated(self):
+        store = SnapshotStore()
+        with pytest.raises(ValueError):
+            store.put(line_graph(4), np.zeros(3, dtype=np.int64), 0.0, kind="full")
+
+    def test_get_latest_and_point_in_time(self):
+        store = SnapshotStore()
+        g = line_graph(3)
+        store.put(g, np.array([0, 0, 1]), 0.1, kind="full")
+        store.put(g, np.array([0, 1, 1]), 0.2, kind="update")
+        assert store.get().version == 2
+        assert store.membership(1) == 1
+        assert store.membership(1, version=1) == 0
+        assert list(store.membership(version=1)) == [0, 0, 1]
+
+    def test_get_errors(self):
+        store = SnapshotStore()
+        with pytest.raises(KeyError):
+            store.get()
+        store.put(line_graph(2), np.zeros(2, dtype=np.int64), 0.0, kind="full")
+        with pytest.raises(KeyError, match="not retained"):
+            store.get(99)
+        with pytest.raises(KeyError, match="vertex"):
+            store.membership(5)
+
+    def test_capacity_evicts_oldest(self):
+        store = SnapshotStore(capacity=2)
+        g = line_graph(2)
+        m = np.zeros(2, dtype=np.int64)
+        for _ in range(4):
+            store.put(g, m, 0.0, kind="full")
+        assert [v["version"] for v in store.versions()] == [3, 4]
+        with pytest.raises(KeyError):
+            store.get(1)
+
+    def test_diff_counts_growth_and_moves(self):
+        store = SnapshotStore()
+        store.put(line_graph(6), np.array([0, 0, 0, 1, 1, 1]), 0.3, kind="full")
+        # Vertex 2 defects to community 1's image; two vertices appended.
+        store.put(
+            line_graph(8), np.array([0, 0, 1, 1, 1, 1, 2, 2]), 0.4,
+            kind="update", parent_version=1,
+        )
+        d = store.diff(1, 2)
+        assert d.num_added == 2
+        assert list(d.added_vertices) == [6, 7]
+        assert d.num_moved == 1
+        assert list(d.moved_vertices) == [2]
+        assert d.modularity_delta == pytest.approx(0.1)
+        meta = d.meta()
+        assert meta["num_moved"] == 1 and meta["num_added"] == 2
+
+
+class TestAlignLabels:
+    def test_pure_relabeling_is_zero_churn(self):
+        a = np.array([0, 0, 1, 1, 2])
+        b = np.array([7, 7, 3, 3, 9])
+        assert _align_labels(a, b).size == 0
+
+    def test_single_mover_found(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([5, 5, 8, 8, 8, 8])  # vertex 2 defected to 1's image
+        assert list(_align_labels(a, b)) == [2]
+
+    def test_empty_inputs(self):
+        assert _align_labels(np.empty(0, int), np.empty(0, int)).size == 0
+
+    def test_split_community_keeps_plurality(self):
+        # Community 0 splits 3-vs-2: the plurality side stays, minority moved.
+        a = np.zeros(5, dtype=np.int64)
+        b = np.array([1, 1, 1, 2, 2])
+        assert list(_align_labels(a, b)) == [3, 4]

@@ -258,3 +258,82 @@ class TestExperiment:
         rc = main(["experiment", "fig2", "--scale", "0.4"])
         assert rc == 0
         assert "fitted p1=" in capsys.readouterr().out
+
+
+class TestTraceDiff:
+    @staticmethod
+    def _write_trace(path, modularity=0.4, movers=6):
+        from repro.observability import JsonlWriterSink, Tracer
+
+        t = Tracer(sink=JsonlWriterSink(str(path)))
+        t.run_start("parallel", num_vertices=10, num_edges=20, num_ranks=2)
+        t.level_start(0, num_vertices=10)
+        t.iteration(0, 1, movers=movers, epsilon=1.0, dq_threshold=0.0,
+                    candidates=10, modularity=modularity)
+        t.level_end(0, modularity=modularity, iterations=1)
+        t.run_end(modularity=modularity, num_levels=1)
+        t.close()
+        return path
+
+    def test_identical_traces_exit_0(self, tmp_path, capsys):
+        a = self._write_trace(tmp_path / "a.jsonl")
+        b = self._write_trace(tmp_path / "b.jsonl")
+        rc = main(["trace", "diff", str(a), str(b)])
+        assert rc == 0
+        assert "within tolerances" in capsys.readouterr().out
+
+    def test_drifting_traces_exit_1_with_table(self, tmp_path, capsys):
+        a = self._write_trace(tmp_path / "a.jsonl", modularity=0.4)
+        b = self._write_trace(tmp_path / "b.jsonl", modularity=0.9)
+        rc = main(["trace", "diff", str(a), str(b)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out and "modularity" in out
+
+    def test_tolerance_flags_are_honoured(self, tmp_path, capsys):
+        a = self._write_trace(tmp_path / "a.jsonl", movers=6)
+        b = self._write_trace(tmp_path / "b.jsonl", movers=7)
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        capsys.readouterr()
+        rc = main([
+            "trace", "diff", str(a), str(b), "--movers-tol", "0.5",
+        ])
+        assert rc == 0
+
+    def test_unreadable_input_exit_2(self, tmp_path, capsys):
+        a = self._write_trace(tmp_path / "a.jsonl")
+        rc = main(["trace", "diff", str(a), str(tmp_path / "missing.jsonl")])
+        assert rc == 2
+        assert "cannot fingerprint" in capsys.readouterr().err
+
+    def test_garbage_input_exit_2(self, tmp_path, capsys):
+        a = self._write_trace(tmp_path / "a.jsonl")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        rc = main(["trace", "diff", str(a), str(bad)])
+        assert rc == 2
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8737
+        assert args.workers == 2
+        assert args.queue_capacity == 64
+        assert args.ranks == 4
+        assert args.trace_dir == "service-traces"
+        assert args.trace_segment_bytes == 4_000_000
+        assert args.trace_segments == 8
+        assert args.no_trace is False
+        assert args.graph is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--workers", "4", "--no-trace",
+            "--job-timeout", "2.5", "--max-retries", "3",
+        ])
+        assert args.port == 0 and args.workers == 4
+        assert args.no_trace is True
+        assert args.job_timeout == 2.5
+        assert args.max_retries == 3
