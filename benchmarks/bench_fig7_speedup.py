@@ -4,47 +4,80 @@
 speedup from 1 to 64 nodes, all relative to the modeled single-threaded
 sequential implementation, with per-rank work extrapolated to the real
 dataset sizes.
+
+Ported onto the declarative benchmark matrices in ``benchmarks/matrices/``
+(fig7a_threads.toml, fig7bc_nodes.toml): this wrapper only runs the matrix
+and projects speedup curves out of the summary cells, so the same sweeps
+are reproducible from the CLI::
+
+    repro bench run benchmarks/matrices/fig7a_threads.toml
 """
+
+import os
 
 from conftest import once
 
-from repro.harness import format_series, run_fig7_nodes, run_fig7_threads
+from repro.bench import build_summary, load_config, run_matrix
+from repro.harness import format_series
 
+MATRIX_DIR = os.path.join(os.path.dirname(__file__), "matrices")
 GRAPHS = ["LiveJournal", "Wikipedia", "UK-2005", "Twitter"]
 
 
+def _run_summary(matrix: str) -> dict:
+    config = load_config(os.path.join(MATRIX_DIR, matrix))
+    return build_summary(run_matrix(config))
+
+
+def _speedup_curve(summary: dict, graph: str, axis: str, base_cell: str):
+    """(x values, speedups) for one graph, vs the base cell's sequential
+    reference seconds."""
+    base = summary["cells"][base_cell]["metrics"]["seq_reference_s"]["median"]
+    xs, speedups = [], []
+    for cell in summary["cells"].values():
+        if cell["factors"]["graph"] != graph:
+            continue
+        xs.append(int(cell["factors"][axis]))
+        speedups.append(base / cell["metrics"]["modeled_s"]["median"])
+    order = sorted(range(len(xs)), key=xs.__getitem__)
+    return [xs[i] for i in order], [speedups[i] for i in order]
+
+
 def test_fig7a_thread_speedup(benchmark):
-    curves = once(benchmark, run_fig7_threads, GRAPHS, scale=0.5)
+    summary = once(benchmark, _run_summary, "fig7a_threads.toml")
 
     print()
     print("Fig. 7a: thread speedup on one P7-IH node (vs 1-thread sequential)")
-    for c in curves:
-        print("  " + format_series(c.graph, c.x, c.speedup, fmt="{:.1f}"))
+    for graph in GRAPHS:
+        x, speedup = _speedup_curve(
+            summary, graph, "threads", f"graph={graph},threads=2"
+        )
+        print("  " + format_series(graph, x, speedup, fmt="{:.1f}"))
 
-    for c in curves:
-        assert c.speedup == sorted(c.speedup), c.graph  # monotone
-        assert 4 < c.speedup[-1] < 32, c.graph  # substantial but sublinear
+        assert speedup == sorted(speedup), graph  # monotone
+        assert 4 < speedup[-1] < 32, graph  # substantial but sublinear
 
 
 def test_fig7bc_node_speedup(benchmark):
-    curves = once(
-        benchmark, run_fig7_nodes, GRAPHS,
-        node_counts=[1, 2, 4, 8, 16, 32, 64], scale=0.5,
-    )
+    summary = once(benchmark, _run_summary, "fig7bc_nodes.toml")
 
     print()
     print("Fig. 7b/c: node speedup, 32 threads/node (vs 1-thread sequential)")
-    for c in curves:
-        print("  " + format_series(c.graph, c.x, c.speedup, fmt="{:.1f}"))
+    curves = {}
+    for graph in GRAPHS:
+        x, speedup = _speedup_curve(
+            summary, graph, "nodes", f"graph={graph},nodes=1"
+        )
+        curves[graph] = (x, speedup)
+        print("  " + format_series(graph, x, speedup, fmt="{:.1f}"))
 
-    by_name = {c.graph: c for c in curves}
-    for c in curves:
+    for graph, (x, speedup) in curves.items():
         # every graph gains from distribution at moderate node counts
-        assert max(c.speedup) > 2 * c.speedup[0], c.graph
+        assert max(speedup) > 2 * speedup[0], graph
     # Large graphs keep scaling to 64 nodes; the medium ones saturate first
     # (paper: UK-2005 reaches 49.8x at 64 nodes).
-    uk = by_name["UK-2005"]
-    assert uk.speedup[-1] == max(uk.speedup)
-    assert uk.speedup[-1] > 30
-    lj = by_name["LiveJournal"]
-    assert lj.speedup.index(max(lj.speedup)) < len(lj.x) - 1  # knee before 64
+    uk_x, uk = curves["UK-2005"]
+    assert uk[-1] == max(uk)
+    assert uk[-1] > 30
+    lj_x, lj = curves["LiveJournal"]
+    assert lj.index(max(lj)) < len(lj_x) - 1  # knee before 64

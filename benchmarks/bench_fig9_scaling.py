@@ -5,109 +5,106 @@ the P7-IH model, fixed per-node workload; (b) strong scaling of UK-2007 on
 P7-IH; (c) strong scaling of R-MAT.  TEPS = input edges / modeled time of
 the first level, with per-rank work extrapolated to the paper's per-node
 workloads (R-MAT 2^24 edges/node, BTER 2^26 edges/node).
+
+Ported onto the declarative benchmark matrices (fig9a_weak.toml,
+fig9bc_strong.toml): the matrices declare graph sizes, machines and
+extrapolation targets; this wrapper projects the GTEPS curves out of the
+summary and keeps the paper's qualitative claims as assertions.
 """
 
-import numpy as np
+import os
+
 from conftest import once
 
-from repro.harness import format_series, run_fig9_strong, run_fig9_weak
-from repro.runtime import BGQ, P7IH
+from repro.bench import build_summary, load_config, run_matrix
+from repro.harness import format_series
+
+MATRIX_DIR = os.path.join(os.path.dirname(__file__), "matrices")
 
 
-def _print_curve(curve):
-    xs = [p.nodes for p in curve.points]
-    print("  " + format_series(
-        f"{curve.label} ({curve.machine}) GTEPS", xs,
-        [p.gteps for p in curve.points], fmt="{:.4f}",
-    ))
-    print("  " + format_series(
-        "    first-level seconds", xs,
-        [p.first_level_seconds for p in curve.points], fmt="{:.2f}",
-    ))
+def _run_summary(matrix: str) -> dict:
+    config = load_config(os.path.join(MATRIX_DIR, matrix))
+    return build_summary(run_matrix(config))
+
+
+def _weak_curve(summary: dict, prefix: str):
+    """(nodes, gteps, modularity) for one fig9a curve (point=<prefix>/n<N>)."""
+    points = []
+    for cell_id, cell in summary["cells"].items():
+        curve, _, node_tag = cell["factors"]["point"].partition("/")
+        if curve != prefix:
+            continue
+        points.append((
+            int(node_tag.lstrip("n")),
+            cell["metrics"]["gteps"]["median"],
+            cell["metrics"]["modularity"]["median"],
+        ))
+    points.sort()
+    return (
+        [p[0] for p in points], [p[1] for p in points], [p[2] for p in points]
+    )
+
+
+def _strong_curve(summary: dict, workload: str):
+    points = sorted(
+        (int(cell["factors"]["nodes"]), cell["metrics"]["gteps"]["median"])
+        for cell in summary["cells"].values()
+        if cell["factors"]["workload"] == workload
+    )
+    return [p[0] for p in points], [p[1] for p in points]
 
 
 def test_fig9a_weak_scaling(benchmark):
-    def run():
-        rmat = run_fig9_weak(
-            node_counts=[2, 4, 8, 16, 32],
-            vertices_per_node=1024,
-            machine=BGQ,
-            generator="rmat",
-        )
-        bter_lo = run_fig9_weak(
-            node_counts=[2, 4, 8, 16, 32],
-            vertices_per_node=512,
-            machine=P7IH,
-            generator="bter",
-            bter_rho=0.55,  # measured GCC ~= 0.15 at these parameters
-        )
-        bter_hi = run_fig9_weak(
-            node_counts=[2, 4, 8, 16, 32],
-            vertices_per_node=512,
-            machine=P7IH,
-            generator="bter",
-            bter_rho=0.88,  # measured GCC ~= 0.55 at these parameters
-        )
-        return rmat, bter_lo, bter_hi
-
-    rmat, bter_lo, bter_hi = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = once(benchmark, _run_summary, "fig9a_weak.toml")
 
     print()
     print("Fig. 9a: weak scaling")
-    for c in (rmat, bter_lo, bter_hi):
-        _print_curve(c)
+    curves = {name: _weak_curve(summary, name)
+              for name in ("rmat", "bter-lo", "bter-hi")}
+    for name, (nodes, gteps, _mods) in curves.items():
+        print("  " + format_series(f"{name} GTEPS", nodes, gteps, fmt="{:.4f}"))
+    bter_lo_mod = curves["bter-lo"][2][-1]
+    bter_hi_mod = curves["bter-hi"][2][-1]
     print(
-        f"  BTER modularity: GCC~0.15 -> {bter_lo.points[-1].modularity:.3f}, "
-        f"GCC~0.55 -> {bter_hi.points[-1].modularity:.3f} "
-        "(paper: 0.693 and 0.926)"
+        f"  BTER modularity: GCC~0.15 -> {bter_lo_mod:.3f}, "
+        f"GCC~0.55 -> {bter_hi_mod:.3f} (paper: 0.693 and 0.926)"
     )
 
-    for curve in (rmat, bter_lo, bter_hi):
-        g = [p.gteps for p in curve.points]
-        n = [p.nodes for p in curve.points]
+    for name, (nodes, gteps, _mods) in curves.items():
         # processing rate grows with node count...
-        assert all(a < b for a, b in zip(g, g[1:])), curve.label
+        assert all(a < b for a, b in zip(gteps, gteps[1:])), name
         # ...roughly proportionally (within 3x of linear across the sweep).
-        growth = (g[-1] / g[0]) / (n[-1] / n[0])
-        assert growth > 1 / 3, curve.label
+        growth = (gteps[-1] / gteps[0]) / (nodes[-1] / nodes[0])
+        assert growth > 1 / 3, name
 
     # Paper: higher GCC -> higher modularity and slightly faster processing.
-    assert bter_hi.points[-1].modularity > bter_lo.points[-1].modularity + 0.1
-    assert bter_hi.points[-1].gteps > 0.5 * bter_lo.points[-1].gteps
+    assert bter_hi_mod > bter_lo_mod + 0.1
+    assert curves["bter-hi"][1][-1] > 0.5 * curves["bter-lo"][1][-1]
 
 
-def test_fig9b_strong_scaling_uk2007(benchmark):
-    curve = once(
-        benchmark, run_fig9_strong,
-        node_counts=[4, 8, 16, 32, 64], machine=P7IH,
-        graph_name="UK-2007", scale=1.0,
-    )
+def test_fig9bc_strong_scaling(benchmark):
+    summary = once(benchmark, _run_summary, "fig9bc_strong.toml")
 
     print()
     print("Fig. 9b: strong scaling, UK-2007 (3.78G edges extrapolated)")
-    _print_curve(curve)
+    uk_nodes, uk = _strong_curve(summary, "uk2007")
+    print("  " + format_series("UK-2007 GTEPS", uk_nodes, uk, fmt="{:.4f}"))
 
-    g = [p.gteps for p in curve.points]
-    assert all(a < b for a, b in zip(g, g[1:]))  # monotone speedup
+    assert all(a < b for a, b in zip(uk, uk[1:]))  # monotone speedup
     # sublinear: doubling nodes never doubles the rate at the top end
-    assert g[-1] / g[-2] < 2.0
+    assert uk[-1] / uk[-2] < 2.0
 
-
-def test_fig9c_strong_scaling_rmat(benchmark):
-    curve = once(
-        benchmark, run_fig9_strong,
-        node_counts=[4, 8, 16, 32], machine=BGQ, rmat_scale=15,
-    )
-
-    print()
     print("Fig. 9c: strong scaling, R-MAT (scale-30 workload extrapolated)")
-    _print_curve(curve)
+    rm_nodes, rm = _strong_curve(summary, "rmat15")
+    print("  " + format_series("R-MAT GTEPS", rm_nodes, rm, fmt="{:.4f}"))
 
-    g = [p.gteps for p in curve.points]
-    assert all(a < b for a, b in zip(g, g[1:]))
+    assert all(a < b for a, b in zip(rm, rm[1:]))
     # Paper: strong-scaled R-MAT rate is below the weak-scaled rate at the
     # same node count ("the problem scale is not big enough").
+    from repro.harness import run_fig9_weak
+    from repro.runtime import BGQ
+
     weak = run_fig9_weak(
         node_counts=[32], vertices_per_node=1024, machine=BGQ, generator="rmat"
     )
-    assert g[-1] < weak.points[0].gteps * 1.5
+    assert rm[-1] < weak.points[0].gteps * 1.5

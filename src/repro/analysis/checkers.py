@@ -1,6 +1,6 @@
 """Built-in SPMD superstep-safety and domain checkers.
 
-Four rules, each encoding one discipline the paper's algorithm depends on and
+Five rules, each encoding one discipline the paper's algorithm depends on and
 that the simulated runtime cannot enforce mechanically:
 
 ``spmd-cross-rank``
@@ -28,6 +28,15 @@ that the simulated runtime cannot enforce mechanically:
     Keys from ``pack_key`` are bit-field concatenations (Eq. 5); ordinary
     arithmetic on them silently crosses field boundaries.  Unpack first.
 
+``phase-nesting``
+    Bare ``begin_span``/``end_span`` calls must pair up within one function
+    scope at the same loop depth -- an unmatched begin corrupts every later
+    phase attribution in the trace (and the Fig. 8 aggregation built on it),
+    an extra end pops someone else's span, and a begin/end pair straddling a
+    loop boundary opens N spans and closes one.  The ``with tracer.span()``
+    / ``profiler.phase()`` context managers are always safe and are not
+    counted.
+
 Checkers are pure AST analyses: no imports are executed, so they can run on
 broken or hostile code.  Nested function bodies are analyzed independently
 (a ``def`` boundary ends the enclosing loop's superstep context).
@@ -45,6 +54,7 @@ __all__ = [
     "InTableMutationChecker",
     "OutTableReuseChecker",
     "PackedKeyArithmeticChecker",
+    "PhaseNestingChecker",
 ]
 
 #: Variable names conventionally bound to the per-rank state list.
@@ -337,3 +347,103 @@ class PackedKeyArithmeticChecker(CheckerBase):
                         "is a (t1<<shift)|t2 bit field (Eq. 5); unpack with "
                         "unpack_key before doing id arithmetic",
                     )
+
+
+# --------------------------------------------------------------------- #
+# Profiler phase-nesting discipline
+# --------------------------------------------------------------------- #
+
+
+@register_checker
+class PhaseNestingChecker(CheckerBase):
+    """Flag unbalanced bare ``begin_span``/``end_span`` call pairs."""
+
+    name = "phase-nesting"
+    description = (
+        "bare begin_span/end_span calls must pair up in one function scope "
+        "at the same loop depth; prefer `with tracer.span()` / "
+        "`profiler.phase()`"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        scopes: list[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(scope, path)
+
+    def _span_calls(
+        self, stmts: list[ast.stmt], depth: int
+    ) -> Iterator[tuple[str, int, ast.Call]]:
+        """Yield (kind, loop_depth, call) in source order, scope-local.
+
+        ``with`` context-manager expressions (``tracer.span(...)`` etc.) are
+        inherently balanced, so only *bare* calls count; loop bodies bump the
+        depth so a pair straddling a loop boundary is detectable.
+        """
+        for stmt in stmts:
+            if isinstance(stmt, _SCOPE_BOUNDARIES):
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                yield from self._span_calls(stmt.body, depth + 1)
+                yield from self._span_calls(stmt.orelse, depth)
+                continue
+            # Non-loop compound statements (if/try/with/match): recurse into
+            # their statement blocks at the same depth, in source order.
+            blocks: list[list[ast.stmt]] = []
+            for field in ("body", "handlers", "orelse", "finalbody", "cases"):
+                value = getattr(stmt, field, None)
+                if not value:
+                    continue
+                if field in ("handlers", "cases"):
+                    blocks.extend(h.body for h in value)
+                else:
+                    blocks.append(value)
+            if blocks:
+                for block in blocks:
+                    yield from self._span_calls(block, depth)
+                continue
+            # Simple statement: collect bare begin/end calls in expressions.
+            for node in _walk_same_scope([stmt]):
+                if isinstance(node, ast.Call):
+                    tail = _call_chain(node)[-1]
+                    if tail in ("begin_span", "end_span"):
+                        yield (
+                            "begin" if tail == "begin_span" else "end",
+                            depth,
+                            node,
+                        )
+
+    def _check_scope(self, scope: ast.AST, path: str) -> Iterable[Finding]:
+        body = list(getattr(scope, "body", []))
+        stack: list[tuple[int, ast.Call]] = []
+        for kind, depth, call in self._span_calls(body, 0):
+            if kind == "begin":
+                stack.append((depth, call))
+            else:
+                if not stack:
+                    yield self.finding(
+                        path, call,
+                        "end_span without a matching begin_span in this "
+                        "scope: pops whatever span the caller had open, "
+                        "mis-attributing all following phase time",
+                    )
+                    continue
+                begin_depth, begin_call = stack.pop()
+                if begin_depth != depth:
+                    yield self.finding(
+                        path, call,
+                        f"end_span at loop depth {depth} closes a begin_span "
+                        f"from loop depth {begin_depth} (line "
+                        f"{begin_call.lineno}): the pair straddles a loop "
+                        "boundary, so spans open/close an unequal number of "
+                        "times per iteration",
+                    )
+        for _depth, call in stack:
+            yield self.finding(
+                path, call,
+                "begin_span is never closed in this scope: every later "
+                "phase nests under it and Fig. 8 aggregation double-counts; "
+                "close it in a finally block or use `with tracer.span()`",
+            )

@@ -14,6 +14,7 @@ tooling" for the invariant catalogue and their paper provenance.
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -99,13 +100,31 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise FileNotFoundError(f"not a Python file or directory: {path}")
 
 
+#: Trailing-comment suppression: ``# lint: allow(checker-a, checker-b)`` on
+#: the offending line silences those checkers for that line only.  Checkers
+#: work on the AST and never see comments, so the engine applies this filter.
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([\w\s,-]+)\)")
+
+
+def _allowed_lines(source: str) -> dict[int, set[str]]:
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            allowed[lineno] = {
+                name.strip() for name in match.group(1).split(",") if name.strip()
+            }
+    return allowed
+
+
 def check_file(
     path: str | Path, checkers: Sequence[CheckerBase] | None = None
 ) -> list[Finding]:
     """Parse one file and run the checkers over it.
 
     A file that does not parse yields a single ``parse-error`` finding rather
-    than aborting the whole run.
+    than aborting the whole run.  Findings on lines carrying a matching
+    ``# lint: allow(<checker>)`` comment are dropped.
     """
     path = Path(path)
     if checkers is None:
@@ -123,9 +142,14 @@ def check_file(
                 message=f"file does not parse: {exc.msg}",
             )
         ]
+    allowed = _allowed_lines(source)
     findings: set[Finding] = set()
     for checker in checkers:
-        findings.update(checker.check(tree, str(path)))
+        findings.update(
+            f
+            for f in checker.check(tree, str(path))
+            if f.checker not in allowed.get(f.line, ())
+        )
     # Deduplicate: nested loops can surface the same violation node twice.
     return sorted(findings)
 

@@ -1,0 +1,184 @@
+"""Diff two ``BENCH_*.json`` summaries: the CI perf gate.
+
+Symmetric to the golden-trace gate: a baseline summary is checked in, CI
+re-runs the matrix and compares medians cell by cell.  A cell regresses when
+its current median exceeds ``baseline * (1 + tolerance)``; a baseline cell
+missing from the current run is always a failure (a silently dropped
+configuration is how perf coverage rots).  Improvements and new cells are
+reported but never fail the gate.
+
+Two tolerance regimes, because the two clocks have different noise floors:
+``wall_s`` measures the Python process on whatever machine CI gives us
+(generous tolerance), while ``modeled_s`` is a deterministic function of the
+simulation's counters -- it only moves when the algorithm's work or traffic
+moves, so its tolerance can be tight without flaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "Tolerance",
+    "DEFAULT_TOLERANCES",
+    "CellDelta",
+    "CompareResult",
+    "compare_summaries",
+    "format_compare_table",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed relative median increase per metric (0.25 = +25%)."""
+
+    wall_s: float = 0.25
+    modeled_s: float = 0.05
+    peak_mem_bytes: float = 0.50
+
+    def for_metric(self, metric: str) -> float | None:
+        return getattr(self, metric, None)
+
+
+DEFAULT_TOLERANCES = Tolerance()
+
+#: Metrics the gate inspects, in report order.
+GATED_METRICS = ("wall_s", "modeled_s", "peak_mem_bytes")
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One (cell, metric) comparison."""
+
+    cell_id: str
+    metric: str
+    baseline_median: float | None
+    current_median: float | None
+    #: current / baseline (None when either side is missing or zero).
+    ratio: float | None
+    #: "regression" | "improvement" | "missing" | "ok"
+    status: str
+
+
+@dataclass
+class CompareResult:
+    regressions: list[CellDelta] = field(default_factory=list)
+    improvements: list[CellDelta] = field(default_factory=list)
+    missing: list[CellDelta] = field(default_factory=list)
+    ok: list[CellDelta] = field(default_factory=list)
+    #: Cells present only in the current run (informational).
+    new_cells: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions or self.missing)
+
+    @property
+    def checked(self) -> int:
+        return len(self.regressions) + len(self.improvements) + len(self.ok)
+
+
+def _median(cell: Mapping[str, Any], metric: str) -> float | None:
+    stats = cell.get("metrics", {}).get(metric)
+    if stats is None:
+        return None
+    return float(stats["median"])
+
+
+def compare_summaries(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerance: Tolerance = DEFAULT_TOLERANCES,
+) -> CompareResult:
+    """Compare every baseline cell's gated medians against the current run."""
+    result = CompareResult()
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+
+    for cell_id, base_cell in base_cells.items():
+        cur_cell = cur_cells.get(cell_id)
+        if cur_cell is None:
+            result.missing.append(CellDelta(
+                cell_id=cell_id, metric="*", status="missing",
+                baseline_median=None, current_median=None, ratio=None,
+            ))
+            continue
+        for metric in GATED_METRICS:
+            base_med = _median(base_cell, metric)
+            cur_med = _median(cur_cell, metric)
+            if base_med is None:
+                continue
+            tol = tolerance.for_metric(metric)
+            if cur_med is None:
+                # The cell ran but stopped producing this metric (e.g. a
+                # machine model was dropped from the config): treat as
+                # missing coverage, not as a pass.
+                result.missing.append(CellDelta(
+                    cell_id=cell_id, metric=metric, status="missing",
+                    baseline_median=base_med, current_median=None, ratio=None,
+                ))
+                continue
+            ratio = cur_med / base_med if base_med > 0 else None
+            if ratio is None:
+                status = "ok"
+            elif tol is not None and ratio > 1.0 + tol:
+                status = "regression"
+            elif tol is not None and ratio < 1.0 - tol:
+                status = "improvement"
+            else:
+                status = "ok"
+            delta = CellDelta(
+                cell_id=cell_id, metric=metric, status=status,
+                baseline_median=base_med, current_median=cur_med, ratio=ratio,
+            )
+            getattr(result, {
+                "regression": "regressions",
+                "improvement": "improvements",
+                "ok": "ok",
+            }[status]).append(delta)
+
+    result.new_cells = sorted(set(cur_cells) - set(base_cells))
+    return result
+
+
+def format_compare_table(
+    result: CompareResult, *, show_ok: bool = False
+) -> str:
+    """Human-readable comparison report (CI log output)."""
+    lines: list[str] = []
+
+    def row(delta: CellDelta, tag: str) -> str:
+        if delta.status == "missing" and delta.metric == "*":
+            return f"{tag:<12s} {delta.cell_id}: cell absent from current run"
+        base = "-" if delta.baseline_median is None else f"{delta.baseline_median:.6g}"
+        cur = "-" if delta.current_median is None else f"{delta.current_median:.6g}"
+        pct = (
+            "-"
+            if delta.ratio is None
+            else f"{(delta.ratio - 1.0) * 100:+.1f}%"
+        )
+        return (
+            f"{tag:<12s} {delta.cell_id} [{delta.metric}]: "
+            f"{base} -> {cur} ({pct})"
+        )
+
+    for delta in result.missing:
+        lines.append(row(delta, "MISSING"))
+    for delta in result.regressions:
+        lines.append(row(delta, "REGRESSION"))
+    for delta in result.improvements:
+        lines.append(row(delta, "improvement"))
+    if show_ok:
+        for delta in result.ok:
+            lines.append(row(delta, "ok"))
+    for cell_id in result.new_cells:
+        lines.append(f"{'new':<12s} {cell_id}: not in baseline (informational)")
+    verdict = (
+        f"FAIL: {len(result.regressions)} regression(s), "
+        f"{len(result.missing)} missing"
+        if result.failed
+        else f"ok: {result.checked} comparison(s) within tolerance"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

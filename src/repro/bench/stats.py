@@ -1,0 +1,125 @@
+"""Robust per-cell summary statistics for the benchmark run table.
+
+One benchmark cell yields N repetitions of each metric; this module reduces
+them to the summary the ``BENCH_*.json`` trajectory stores: median / mean /
+stdev / CV plus MAD-based outlier flags.  Medians and MAD are the primary
+signal -- wall-clock samples on shared CI machines are contaminated by
+one-sided noise (a descheduled rep is slow, never fast), which shifts means
+but leaves medians alone.  Outliers use the modified z-score
+``0.6745 (x - median) / MAD`` with the conventional 3.5 cutoff (Iglewicz &
+Hoaglin); a zero MAD (degenerate: half the samples identical) flags nothing
+rather than flagging harmless jitter.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = ["SampleStats", "summarize", "mad", "mad_outliers", "MAD_THRESHOLD"]
+
+#: Modified z-score beyond which a sample is flagged (Iglewicz & Hoaglin).
+MAD_THRESHOLD = 3.5
+
+#: Scale factor making MAD a consistent sigma estimator for normal data.
+_MAD_TO_SIGMA = 0.6745
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary of one metric's repetitions within one cell."""
+
+    n: int
+    median: float
+    mean: float
+    stdev: float
+    #: Coefficient of variation: stdev / |mean| (0 when the mean is 0).
+    cv: float
+    min: float
+    max: float
+    mad: float
+    #: Indices (into the sample sequence) flagged as MAD outliers.
+    outliers: tuple[int, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "median": self.median,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "cv": self.cv,
+            "min": self.min,
+            "max": self.max,
+            "mad": self.mad,
+            "outliers": list(self.outliers),
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "SampleStats":
+        return SampleStats(
+            n=int(d["n"]),
+            median=float(d["median"]),
+            mean=float(d["mean"]),
+            stdev=float(d["stdev"]),
+            cv=float(d["cv"]),
+            min=float(d["min"]),
+            max=float(d["max"]),
+            mad=float(d["mad"]),
+            outliers=tuple(int(i) for i in d.get("outliers", [])),
+        )
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median."""
+    if not values:
+        return 0.0
+    med = statistics.median(values)
+    return statistics.median(abs(v - med) for v in values)
+
+
+def mad_outliers(
+    values: Sequence[float], *, threshold: float = MAD_THRESHOLD
+) -> list[int]:
+    """Indices whose modified z-score exceeds ``threshold``.
+
+    With fewer than three samples (or a zero MAD) nothing is flagged -- there
+    is no robust notion of "the bulk" to deviate from.
+    """
+    if len(values) < 3:
+        return []
+    med = statistics.median(values)
+    spread = mad(values)
+    if spread <= 0.0:
+        return []
+    return [
+        i
+        for i, v in enumerate(values)
+        if _MAD_TO_SIGMA * abs(v - med) / spread > threshold
+    ]
+
+
+def summarize(
+    values: Sequence[float], *, threshold: float = MAD_THRESHOLD
+) -> SampleStats:
+    """Reduce one metric's repetitions to a :class:`SampleStats`."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot summarize an empty sample")
+    if any(not math.isfinite(v) for v in vals):
+        raise ValueError("samples must be finite")
+    n = len(vals)
+    mean = statistics.fmean(vals)
+    stdev = statistics.stdev(vals) if n > 1 else 0.0
+    return SampleStats(
+        n=n,
+        median=statistics.median(vals),
+        mean=mean,
+        stdev=stdev,
+        cv=stdev / abs(mean) if mean != 0.0 else 0.0,
+        min=min(vals),
+        max=max(vals),
+        mad=mad(vals),
+        outliers=tuple(mad_outliers(vals, threshold=threshold)),
+    )

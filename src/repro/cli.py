@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Eight subcommands cover the library's main workflows:
+Nine subcommands cover the library's main workflows:
 
 * ``detect``      -- community detection on an edge-list file (optionally
   recording a structured trace with ``--trace`` / ``--trace-format`` --
@@ -17,6 +17,10 @@ Eight subcommands cover the library's main workflows:
   monitoring of a streaming trace;
 * ``serve``       -- long-lived detection service with a job queue, worker
   pool, versioned snapshot store and HTTP API (:mod:`repro.service`);
+* ``bench``       -- declarative benchmark matrix (:mod:`repro.bench`):
+  ``run`` a TOML/JSON matrix into ``run_table.csv`` + ``BENCH_<label>.json``,
+  ``report`` a summary as markdown, ``compare`` two summaries as the CI perf
+  gate, ``cells`` to dry-run the expansion;
 * ``check``       -- run the :mod:`repro.analysis` superstep-safety linter
   over source files or directories.
 """
@@ -232,6 +236,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log each HTTP request"
     )
 
+    ben = sub.add_parser(
+        "bench",
+        help="declarative benchmark matrix: run / report / compare / cells",
+    )
+    ben_sub = ben.add_subparsers(dest="bench_command", required=True)
+
+    ben_run = ben_sub.add_parser(
+        "run", help="execute a matrix file; write run_table.csv + BENCH_<label>.json"
+    )
+    ben_run.add_argument("matrix", help="TOML/JSON matrix file (benchmarks/matrices/)")
+    ben_run.add_argument(
+        "--out-dir", default="bench-results", metavar="DIR",
+        help="artifact directory (created if missing)",
+    )
+    ben_run.add_argument(
+        "--label", default=None,
+        help="override the matrix label (names the BENCH json)",
+    )
+    ben_run.add_argument(
+        "--repetitions", type=int, default=None, metavar="N",
+        help="override the matrix repetition count",
+    )
+
+    ben_rep = ben_sub.add_parser(
+        "report", help="render a BENCH_*.json summary as a markdown run table"
+    )
+    ben_rep.add_argument("summary", help="BENCH_*.json produced by `bench run`")
+    ben_rep.add_argument(
+        "--group-by", default=None, metavar="FACTOR",
+        help="split the table into one section per value of this factor",
+    )
+
+    ben_cmp = ben_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json files; non-zero exit when a cell's "
+        "median regresses beyond tolerance (the CI perf gate)",
+    )
+    ben_cmp.add_argument("baseline", help="checked-in baseline BENCH json")
+    ben_cmp.add_argument("current", help="freshly produced BENCH json")
+    ben_cmp.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="allowed relative wall-clock median increase (default 0.25)",
+    )
+    ben_cmp.add_argument(
+        "--modeled-tolerance", type=float, default=None, metavar="FRAC",
+        help="allowed relative modeled-seconds median increase (default "
+        "0.05; modeled time is deterministic, so keep this tight)",
+    )
+    ben_cmp.add_argument(
+        "--mem-tolerance", type=float, default=None, metavar="FRAC",
+        help="allowed relative peak-memory median increase (default 0.5)",
+    )
+    ben_cmp.add_argument(
+        "--show-ok", action="store_true",
+        help="also list in-tolerance comparisons",
+    )
+
+    ben_cells = ben_sub.add_parser(
+        "cells", help="expand a matrix file and list its cells (dry run)"
+    )
+    ben_cells.add_argument("matrix", help="TOML/JSON matrix file")
+
     chk = sub.add_parser(
         "check", help="lint source files for SPMD superstep-safety hazards"
     )
@@ -359,7 +425,7 @@ def _cmd_detect(args) -> int:
                 f"wrote {args.trace} ({sink.num_events} events, jsonl, streamed)"
             )
         else:
-            export_trace(tracer.events, args.trace, args.trace_format)
+            export_trace(tracer.events, args.trace, args.trace_format, machine=machine)
             print(
                 f"wrote {args.trace} ({len(tracer.events)} events, "
                 f"{args.trace_format})"
@@ -719,6 +785,103 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json as _json
+    import os
+
+    from .bench import (
+        BenchConfigError,
+        Tolerance,
+        compare_summaries,
+        expand_cells,
+        format_bench_report,
+        format_compare_table,
+        load_config,
+        run_matrix,
+        write_run_table,
+        write_summary,
+    )
+
+    if args.bench_command == "run":
+        try:
+            config = load_config(args.matrix)
+        except (OSError, BenchConfigError, ValueError) as exc:
+            print(f"cannot load matrix {args.matrix}: {exc}", file=sys.stderr)
+            return 2
+        if args.label:
+            config.label = args.label
+        if args.repetitions is not None:
+            if args.repetitions < 1:
+                print("--repetitions must be >= 1", file=sys.stderr)
+                return 2
+            config.repetitions = args.repetitions
+        n_cells = len(expand_cells(config))
+        print(
+            f"matrix {config.label}: {n_cells} cell(s) x "
+            f"{config.repetitions} rep(s) (+{config.warmup} warmup)"
+        )
+        try:
+            result = run_matrix(config, progress=print)
+        except BenchConfigError as exc:
+            print(f"matrix error: {exc}", file=sys.stderr)
+            return 2
+        os.makedirs(args.out_dir, exist_ok=True)
+        table_path = os.path.join(args.out_dir, "run_table.csv")
+        summary_path = os.path.join(args.out_dir, f"BENCH_{config.label}.json")
+        write_run_table(result, table_path)
+        write_summary(result, summary_path)
+        print(f"wrote {table_path}")
+        print(f"wrote {summary_path}")
+        return 0
+
+    if args.bench_command == "report":
+        try:
+            with open(args.summary, "r", encoding="utf-8") as fh:
+                summary = _json.load(fh)
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"cannot read summary {args.summary}: {exc}", file=sys.stderr)
+            return 2
+        print(format_bench_report(summary, group_by=args.group_by))
+        return 0
+
+    if args.bench_command == "compare":
+        docs = []
+        for path in (args.baseline, args.current):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    docs.append(_json.load(fh))
+            except (OSError, _json.JSONDecodeError) as exc:
+                print(f"cannot read summary {path}: {exc}", file=sys.stderr)
+                return 2
+        tol_kwargs = {}
+        if args.tolerance is not None:
+            tol_kwargs["wall_s"] = args.tolerance
+        if args.modeled_tolerance is not None:
+            tol_kwargs["modeled_s"] = args.modeled_tolerance
+        if args.mem_tolerance is not None:
+            tol_kwargs["peak_mem_bytes"] = args.mem_tolerance
+        result = compare_summaries(docs[0], docs[1], Tolerance(**tol_kwargs))
+        print(f"bench compare: {args.current} vs baseline {args.baseline}")
+        print(format_compare_table(result, show_ok=args.show_ok))
+        return 1 if result.failed else 0
+
+    # cells
+    try:
+        config = load_config(args.matrix)
+        cells = expand_cells(config)
+    except (OSError, BenchConfigError, ValueError) as exc:
+        print(f"cannot expand matrix {args.matrix}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{config.label}: {len(cells)} cell(s), factors "
+        f"{list(config.factors) or '(none)'}"
+    )
+    for cell in cells:
+        params = {k: v for k, v in sorted(cell.params.items())}
+        print(f"  {cell.cell_id}: {params}")
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .analysis import get_checkers, run_checks
 
@@ -752,6 +915,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "bench": _cmd_bench,
         "check": _cmd_check,
     }
     try:

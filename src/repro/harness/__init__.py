@@ -2,6 +2,7 @@
 
 from .experiments import (
     UK2007_LITERATURE,
+    paper_work_scale,
     run_fig2,
     run_fig4,
     run_fig5,
@@ -14,6 +15,7 @@ from .experiments import (
     run_table1,
     run_table3,
     run_table4,
+    sequential_reference_seconds,
 )
 from .tables import banner, format_series, format_table
 from .teps import first_level_seconds, gteps, teps
@@ -38,4 +40,6 @@ __all__ = [
     "teps",
     "gteps",
     "first_level_seconds",
+    "paper_work_scale",
+    "sequential_reference_seconds",
 ]

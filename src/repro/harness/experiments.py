@@ -53,6 +53,8 @@ __all__ = [
     "run_fig9_weak",
     "run_fig9_strong",
     "UK2007_LITERATURE",
+    "paper_work_scale",
+    "sequential_reference_seconds",
 ]
 
 
@@ -390,6 +392,15 @@ def _paper_work_scale(graph_name: str, proxy_edges: int) -> float:
     return (spec.orig_edges * 1e6) / max(1, proxy_edges)
 
 
+def paper_work_scale(graph_name: str, proxy_edges: int) -> float:
+    """Public alias of the proxy->paper extrapolation factor.
+
+    The bench harness resolves ``work_scale = "paper"`` cells through this;
+    ``graph_name`` must be a Table I social graph.
+    """
+    return _paper_work_scale(graph_name, proxy_edges)
+
+
 # --------------------------------------------------------------------- #
 # Fig. 7 -- thread / node speedup (machine-model driven)
 # --------------------------------------------------------------------- #
@@ -433,6 +444,13 @@ def _sequential_reference_seconds(
         sweeps = max(1, len(lv.iterations))
         ops += lv.num_adjacency_entries * (sweeps + 1) * _SEQ_OPS_PER_ENTRY
     return ops * machine.t_op * work_scale
+
+
+def sequential_reference_seconds(
+    result, machine: MachineModel, work_scale: float = 1.0
+) -> float:
+    """Public alias: modeled Blondel single-thread baseline for Fig. 7."""
+    return _sequential_reference_seconds(result, machine, work_scale)
 
 
 def run_fig7_threads(

@@ -23,6 +23,16 @@ Algorithms accept ``tracer=`` and emit through it; the runtime's
 tracer spans, so traces carry the same hierarchy Fig. 8 aggregates.
 """
 
+from .aggregate import (
+    PhaseAggregate,
+    RunFacts,
+    SuperstepVolume,
+    aggregate_phases,
+    iteration_counts,
+    phase_durations,
+    run_facts,
+    superstep_volumes,
+)
 from .events import EventKind, TraceEvent
 from .exporters import (
     TRACE_FORMATS,
@@ -69,6 +79,14 @@ __all__ = [
     "NULL_TRACER",
     "TraceEvent",
     "EventKind",
+    "PhaseAggregate",
+    "SuperstepVolume",
+    "RunFacts",
+    "aggregate_phases",
+    "phase_durations",
+    "superstep_volumes",
+    "iteration_counts",
+    "run_facts",
     "TraceSink",
     "JsonlWriterSink",
     "RotatingJsonlSink",

@@ -10,7 +10,12 @@ stream:
   land on tid 0; when a ``span_end`` carries per-rank ``comp_ops`` deltas the
   span is mirrored onto each simulated rank's track (tid = rank + 1) with that
   rank's work in ``args``, so load imbalance is visible per lane.  Iteration
-  events become instants, modularity a counter track.
+  events become instants, modularity a counter track.  With a
+  :class:`~repro.runtime.machine.MachineModel`, a second process track ("pid
+  1: modeled <machine>") replays the same span tree on the *modeled* clock --
+  each span's extent is the machine model's predicted seconds for the work and
+  traffic recorded inside it -- so simulated and real time line up in one
+  timeline.
 * **Prometheus** renders an end-of-run text snapshot (``# HELP`` / ``# TYPE``
   + samples) suitable for a textfile-collector scrape.
 """
@@ -20,9 +25,12 @@ from __future__ import annotations
 import json
 import re
 import time
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from .events import EventKind, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.machine import MachineModel
 
 __all__ = [
     "TRACE_FORMATS",
@@ -111,13 +119,27 @@ def follow_jsonl(
 _US = 1e6  # trace_event timestamps are microseconds
 
 
-def chrome_trace(events: Sequence[TraceEvent]) -> dict:
+def chrome_trace(
+    events: Sequence[TraceEvent],
+    *,
+    machine: "MachineModel | None" = None,
+    threads: int | None = None,
+    nodes: int | None = None,
+) -> dict:
     """Project the event stream onto the Chrome ``trace_event`` JSON object.
 
     Spans are emitted as matched B/E (duration) pairs so nesting survives;
     per-rank mirrors use complete ("X") events.  The result validates against
     the trace_event format: every entry carries ``name``/``ph``/``ts``/``pid``
     /``tid`` and "X" entries carry ``dur``.
+
+    With ``machine`` the same span tree is replayed on a second process track
+    (pid 1) in *modeled machine seconds*: each span's extent is the machine
+    model applied to the per-rank work (``comp_ops`` on span_end) and traffic
+    (``superstep`` events inside the span) recorded for exactly that phase.
+    Collectives are not individually traced, so their sync cost is absent
+    from this clock -- the track shows the compute/traffic-dominated shape,
+    not the full Fig. 8 total.
     """
     out: list[dict] = []
     pid = 0
@@ -189,12 +211,118 @@ def chrome_trace(events: Sequence[TraceEvent]) -> dict:
 
     for rank in sorted(ranks_seen):
         out.insert(1, meta(rank + 1, f"rank {rank}"))
+    if machine is not None:
+        out.extend(_modeled_clock_events(events, machine, threads=threads, nodes=nodes))
     return {"traceEvents": out, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(events: Sequence[TraceEvent], path: str) -> None:
+def _modeled_clock_events(
+    events: Sequence[TraceEvent],
+    machine: "MachineModel",
+    *,
+    threads: int | None = None,
+    nodes: int | None = None,
+) -> list[dict]:
+    """Second clock domain: the span tree replayed in modeled machine seconds.
+
+    A modeled-time cursor advances only when a span closes, by the machine
+    model's prediction for the counters charged to exactly that span: per-rank
+    ``comp_ops`` deltas from its span_end, and records / bytes / messages from
+    the ``superstep`` events that fired while it was the innermost open span.
+    Children advance the cursor between a parent's B and E, so nesting and
+    relative phase widths survive the clock change.
+    """
+    import numpy as np
+
+    from ..runtime.machine import model_phase_time
+    from ..runtime.profiler import PhaseCounters
+
+    num_ranks = 1
+    for ev in events:
+        if ev.kind == EventKind.RUN_START:
+            ranks = ev.data.get("num_ranks")
+            if ranks:
+                num_ranks = int(ranks)
+            break
+
+    pid = 1
+    out: list[dict] = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": f"modeled {machine.name}"},
+        },
+        {
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": "modeled phases"},
+        },
+    ]
+
+    def _distribute(total: float, per_rank: list | None) -> np.ndarray:
+        weights = (
+            np.asarray(per_rank, dtype=np.float64)
+            if per_rank
+            else np.ones(num_ranks)
+        )
+        if weights.size != num_ranks:
+            weights = np.resize(weights, num_ranks)
+        if weights.sum() <= 0:
+            weights = np.ones(num_ranks)
+        return total * weights / weights.sum()
+
+    cursor = 0.0
+    stack: list[tuple[str, float, PhaseCounters]] = []
+
+    def _close(ev_name: str, comp_ops: list | None) -> None:
+        nonlocal cursor
+        name, start, counters = stack.pop()
+        if comp_ops:
+            ops = np.asarray(comp_ops, dtype=np.float64)
+            counters.comp_ops[: ops.size] += ops[:num_ranks]
+        exclusive = model_phase_time(counters, machine, threads=threads, nodes=nodes)
+        cursor += exclusive
+        out.append({
+            "name": ev_name or name, "cat": "modeled", "ph": "E",
+            "ts": cursor * _US, "pid": pid, "tid": 0,
+            "args": {"modeled_exclusive_s": exclusive},
+        })
+
+    for ev in events:
+        if ev.kind == EventKind.SPAN_BEGIN:
+            stack.append((ev.name, cursor, PhaseCounters(num_ranks=num_ranks)))
+            out.append({
+                "name": ev.name, "cat": "modeled", "ph": "B",
+                "ts": cursor * _US, "pid": pid, "tid": 0, "args": {},
+            })
+        elif ev.kind == EventKind.SUPERSTEP and stack:
+            counters = stack[-1][2]
+            per_rank = ev.data.get("per_rank_records")
+            counters.records_sent += _distribute(
+                float(ev.data.get("records", 0)), per_rank
+            )
+            counters.bytes_sent += _distribute(float(ev.data.get("bytes", 0)), per_rank)
+            counters.messages_sent += _distribute(
+                float(ev.data.get("messages", 0)), per_rank
+            )
+            counters.supersteps += 1
+        elif ev.kind == EventKind.SPAN_END and stack:
+            _close(ev.name, ev.data.get("comp_ops"))
+    while stack:  # truncated trace: close what is still open
+        _close(stack[-1][0], None)
+    return out
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: str,
+    *,
+    machine: "MachineModel | None" = None,
+    threads: int | None = None,
+    nodes: int | None = None,
+) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace(events), fh)
+        json.dump(
+            chrome_trace(events, machine=machine, threads=threads, nodes=nodes), fh
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -344,12 +472,24 @@ def write_prometheus(events: Sequence[TraceEvent], path: str) -> None:
 # --------------------------------------------------------------------- #
 
 
-def export_trace(events: Sequence[TraceEvent], path: str, fmt: str = "jsonl") -> None:
-    """Write ``events`` to ``path`` in ``fmt`` (one of :data:`TRACE_FORMATS`)."""
+def export_trace(
+    events: Sequence[TraceEvent],
+    path: str,
+    fmt: str = "jsonl",
+    *,
+    machine: "MachineModel | None" = None,
+    threads: int | None = None,
+    nodes: int | None = None,
+) -> None:
+    """Write ``events`` to ``path`` in ``fmt`` (one of :data:`TRACE_FORMATS`).
+
+    ``machine`` / ``threads`` / ``nodes`` only affect the ``chrome`` format,
+    where they enable the modeled-clock track.
+    """
     if fmt == "jsonl":
         write_jsonl(events, path)
     elif fmt == "chrome":
-        write_chrome_trace(events, path)
+        write_chrome_trace(events, path, machine=machine, threads=threads, nodes=nodes)
     elif fmt == "prom":
         write_prometheus(events, path)
     else:

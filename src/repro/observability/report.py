@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .aggregate import aggregate_phases, run_facts, superstep_volumes
 from .events import EventKind, TraceEvent
 
 __all__ = [
@@ -39,27 +40,18 @@ def _fmt(value, spec: str = "{:.4g}") -> str:
 
 def run_header(events: Sequence[TraceEvent]) -> str:
     """One-line run summary from run_start / run_end events."""
-    algo = n = m = ranks = q = levels = None
-    for ev in events:
-        if ev.kind == EventKind.RUN_START:
-            algo = ev.data.get("algorithm")
-            n = ev.data.get("num_vertices")
-            m = ev.data.get("num_edges")
-            ranks = ev.data.get("num_ranks")
-        elif ev.kind == EventKind.RUN_END:
-            q = ev.data.get("modularity")
-            levels = ev.data.get("num_levels")
-    parts = [f"algorithm={algo or '?'}"]
-    if n is not None:
-        parts.append(f"|V|={n}")
-    if m is not None:
-        parts.append(f"|E|={m}")
-    if ranks is not None:
-        parts.append(f"ranks={ranks}")
-    if levels is not None:
-        parts.append(f"levels={levels}")
-    if q is not None:
-        parts.append(f"Q={q:.4f}")
+    facts = run_facts(events)
+    parts = [f"algorithm={facts.algorithm or '?'}"]
+    if facts.num_vertices is not None:
+        parts.append(f"|V|={facts.num_vertices}")
+    if facts.num_edges is not None:
+        parts.append(f"|E|={facts.num_edges}")
+    if facts.num_ranks is not None:
+        parts.append(f"ranks={facts.num_ranks}")
+    if facts.num_levels is not None:
+        parts.append(f"levels={facts.num_levels}")
+    if facts.modularity is not None:
+        parts.append(f"Q={facts.modularity:.4f}")
     return "  ".join(parts)
 
 
@@ -111,35 +103,22 @@ def format_phase_table(events: Sequence[TraceEvent]) -> str:
     """Aggregate span / superstep events into a per-phase breakdown."""
     from ..harness.tables import format_table
 
-    wall: dict[str, float] = {}
-    calls: dict[str, int] = {}
-    max_rank_ops: dict[str, float] = {}
-    records: dict[str, float] = {}
-    supersteps: dict[str, int] = {}
-
-    for ev in events:
-        if ev.kind == EventKind.SPAN_END:
-            wall[ev.name] = wall.get(ev.name, 0.0) + float(ev.data.get("duration", 0.0))
-            calls[ev.name] = calls.get(ev.name, 0) + 1
-            ops = ev.data.get("comp_ops")
-            if ops:
-                max_rank_ops[ev.name] = max_rank_ops.get(ev.name, 0.0) + max(ops)
-        elif ev.kind == EventKind.SUPERSTEP:
-            records[ev.name] = records.get(ev.name, 0.0) + ev.data["records"]
-            supersteps[ev.name] = supersteps.get(ev.name, 0) + 1
-
-    names = sorted(set(wall) | set(records))
+    spans = aggregate_phases(events)
+    volumes = superstep_volumes(events)
+    names = sorted(set(spans) | set(volumes))
     if not names:
         return "no span/superstep events in trace"
     rows = []
     for name in names:
+        agg = spans.get(name)
+        vol = volumes.get(name)
         rows.append([
             name,
-            calls.get(name, 0),
-            f"{wall.get(name, 0.0):.4f}",
-            _fmt(max_rank_ops.get(name)),
-            _fmt(records.get(name)),
-            supersteps.get(name, 0),
+            agg.spans if agg else 0,
+            f"{agg.wall_seconds if agg else 0.0:.4f}",
+            _fmt(agg.comp_ops_max if agg and agg.has_comp_ops else None),
+            _fmt(float(vol.records) if vol else None),
+            vol.supersteps if vol else 0,
         ])
     return format_table(
         ["phase", "spans", "wall_s", "comp_ops_max", "records", "supersteps"],

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.sanitizer import Sanitizer, resolve_sanitizer
 from ..graph import Graph
 from .louvain import ParallelLouvainConfig, ParallelLouvainResult, parallel_louvain
 
@@ -101,7 +102,12 @@ def _edge_key(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
     return lo * np.int64(n) + hi
 
 
-def apply_edge_batch(graph: Graph, batch: EdgeBatch) -> Graph:
+def apply_edge_batch(
+    graph: Graph,
+    batch: EdgeBatch,
+    *,
+    sanitize: bool | Sanitizer | None = None,
+) -> Graph:
     """Produce the mutated graph (the old one is untouched).
 
     Additions accumulate weight onto existing edges; removals delete the
@@ -117,7 +123,14 @@ def apply_edge_batch(graph: Graph, batch: EdgeBatch) -> Graph:
     graph: naming a vertex that only exists because of this batch's
     additions raises ``ValueError`` (such an edge cannot pre-exist, so the
     removal is necessarily a mistake in the caller's bookkeeping).
+
+    ``sanitize`` (same convention as the detection entry points) checks the
+    mutation's weight accounting: the batch's added weights must be finite,
+    and the mutated graph's total edge weight must equal
+    ``old - removed + added`` exactly (a drift here silently corrupts the
+    modularity null model of every later warm-start repair).
     """
+    san = resolve_sanitizer(sanitize)
     src, dst, wt = graph.edge_arrays()
     n_old = graph.num_vertices
     if batch.num_removals:
@@ -138,18 +151,32 @@ def apply_edge_batch(graph: Graph, batch: EdgeBatch) -> Graph:
         top = int(max(batch.add_src.max(), batch.add_dst.max())) + 1
         n = max(n, top)
 
+    removed_weight = 0.0
     if batch.num_removals:
         keys = _edge_key(src, dst, n)
         gone = _edge_key(batch.remove_src, batch.remove_dst, n)
         keep = ~np.isin(keys, gone)
+        if san.enabled:
+            removed_weight = float(wt[~keep].sum())
         src, dst, wt = src[keep], dst[keep], wt[keep]
 
     if batch.num_additions:
+        if san.enabled:
+            san.check_finite(batch.add_weight, what="batch add_weight")
         src = np.concatenate([src, batch.add_src])
         dst = np.concatenate([dst, batch.add_dst])
         wt = np.concatenate([wt, batch.add_weight])
 
-    return Graph.from_edges(src, dst, wt, num_vertices=n)
+    mutated = Graph.from_edges(src, dst, wt, num_vertices=n)
+    if san.enabled:
+        old_total = float(graph.edge_arrays()[2].sum())
+        expected = old_total - removed_weight + float(batch.add_weight.sum())
+        san.check_conservation(
+            float(mutated.edge_arrays()[2].sum()),
+            expected,
+            what="total edge weight across the batch",
+        )
+    return mutated
 
 
 def incremental_louvain(
@@ -171,7 +198,8 @@ def incremental_louvain(
     ``tracer`` and ``sanitize`` pass straight through to
     :func:`~repro.parallel.louvain.parallel_louvain`, so a warm-start repair
     traces and sanitizes exactly like a cold run (the service layer and the
-    ``lfr-dynamic`` golden benchmark rely on this).
+    ``lfr-dynamic`` golden benchmark rely on this).  ``sanitize`` also arms
+    the batch-application conservation check in :func:`apply_edge_batch`.
     """
     if config is None:
         config = ParallelLouvainConfig(**kwargs)
@@ -181,7 +209,7 @@ def incremental_louvain(
     if previous_membership.size != graph.num_vertices:
         raise ValueError("previous membership must cover the old vertex set")
 
-    new_graph = apply_edge_batch(graph, batch)
+    new_graph = apply_edge_batch(graph, batch, sanitize=sanitize)
     grown = new_graph.num_vertices - graph.num_vertices
     if grown:
         base = previous_membership.max(initial=-1) + 1

@@ -24,7 +24,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.sanitizer import Sanitizer
 from ..graph import Graph
+from ..observability.tracer import NULL_TRACER, Tracer
 from ..runtime import Simulation
 from .partition import ModuloPartition
 from .tables import RankTables, build_in_tables
@@ -78,15 +80,28 @@ def _propagate_labels(
     partition: ModuloPartition,
     tables: list[RankTables],
     labels: list[np.ndarray],
+    two_m: float | None = None,
 ) -> None:
     """STATE PROPAGATION for labels: rebuild every Out_Table keyed (v, label)."""
     prof = sim.profiler
+    san = sim.sanitizer
     outboxes = []
+    shipped = 0.0
     for rank, rt in enumerate(tables):
         v, u, w = rt.in_edges()
         lab = labels[rank][partition.to_local(u)] if u.size else u
         prof.add_ops(rank, v.size)
+        if san.enabled:
+            san.check_finite(w, rank=rank, what="shipped label weights")
+            shipped += float(w.sum())
         outboxes.append((partition.owner(v), v, lab, w))
+    if san.enabled and two_m is not None:
+        # Every in-edge is shipped each superstep, so the exchanged weight
+        # must equal Sigma of in-degrees + out-degrees = 2m (Algorithm 3's
+        # conservation argument carries over unchanged to LPA).
+        san.check_conservation(
+            shipped, two_m, what="exchanged label weight (2m)"
+        )
     result = sim.bus.exchange(outboxes)
     for rank, rt in enumerate(tables):
         v_in, lab_in, w_in = result.inbox(rank)
@@ -101,6 +116,9 @@ def _propagate_labels(
 def label_propagation(
     graph: Graph,
     config: LabelPropagationConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
+    sanitize: bool | Sanitizer | None = None,
     **kwargs,
 ) -> LabelPropagationResult:
     """Weighted synchronous label propagation over the simulated runtime.
@@ -108,6 +126,14 @@ def label_propagation(
     Every vertex adopts the label with the largest accumulated incident
     weight among its neighbors (ties to the smaller label, which also damps
     two-cycles), all vertices updating simultaneously per superstep.
+
+    ``tracer`` / ``sanitize`` follow the same conventions as
+    :func:`~repro.parallel.louvain.parallel_louvain`: the tracer captures
+    phase spans and per-superstep comm volumes, and the sanitizer checks the
+    invariants the shared two-table machinery promises here too -- finite
+    weights through the hash tables, key-pack field widths, per-superstep
+    rank participation, and per-iteration weight conservation (the exchanged
+    label weight must equal ``2m`` every PROPAGATE superstep).
     """
     if config is None:
         config = LabelPropagationConfig(**kwargs)
@@ -115,8 +141,22 @@ def label_propagation(
         raise TypeError("pass either config or keyword overrides, not both")
 
     n = graph.num_vertices
-    sim = Simulation.create(config.num_ranks, reorder_seed=config.reorder_seed)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    sim = Simulation.create(
+        config.num_ranks, reorder_seed=config.reorder_seed, tracer=tracer,
+        sanitize=sanitize,
+    )
+    san = sim.sanitizer
+    if tracer.enabled:
+        tracer.run_start(
+            "lpa",
+            num_vertices=n,
+            num_edges=graph.num_edges,
+            num_ranks=config.num_ranks,
+        )
     if n == 0:
+        if tracer.enabled:
+            tracer.run_end(modularity=0.0, num_levels=0)
         return LabelPropagationResult(
             membership=np.empty(0, dtype=np.int64), iterations=0, simulation=sim
         )
@@ -127,7 +167,12 @@ def label_propagation(
         hash_function=config.hash_function,
         load_factor=config.load_factor,
         key_shift=config.key_shift,
+        sanitizer=san,
     )
+    two_m: float | None = None
+    if san.enabled:
+        san.enter_level(0)
+        two_m = float(sum(rt.in_edges()[2].sum() for rt in tables))
     labels = [partition.owned(r).copy() for r in range(config.num_ranks)]
     self_adj = []
     for r, rt in enumerate(tables):
@@ -144,8 +189,11 @@ def label_propagation(
     damp_rng = np.random.default_rng(config.seed)
     for _ in range(config.max_iterations):
         iterations += 1
+        if san.enabled:
+            san.enter_iteration(iterations)
+            san.enter_phase("LPA/PROPAGATE")
         with sim.phase("LPA/PROPAGATE"):
-            _propagate_labels(sim, partition, tables, labels)
+            _propagate_labels(sim, partition, tables, labels, two_m)
         changed_total = 0
         with sim.phase("LPA/ADOPT"):
             for rank, rt in enumerate(tables):
@@ -177,6 +225,8 @@ def label_propagation(
                 changed_total += int(changed.sum())
                 cur[winners_local[changed]] = winners_label[changed]
         changed_history.append(changed_total)
+        if tracer.enabled:
+            tracer.iteration(0, iterations, movers=changed_total)
         if changed_total < threshold:
             break
 
@@ -184,8 +234,13 @@ def label_propagation(
     for r in range(config.num_ranks):
         membership[partition.owned(r)] = labels[r]
     _, compact = np.unique(membership, return_inverse=True)
+    compact = compact.astype(np.int64)
+    if tracer.enabled:
+        from ..metrics import modularity as _modularity
+
+        tracer.run_end(modularity=_modularity(graph, compact), num_levels=1)
     return LabelPropagationResult(
-        membership=compact.astype(np.int64),
+        membership=compact,
         iterations=iterations,
         changed_per_iteration=changed_history,
         simulation=sim,

@@ -203,7 +203,9 @@ class WorkerPool:
         job_tracer = Tracer(sink=_JobTraceSink(job, self.shared_sink), buffer=False)
         ctx = JobContext(job, job_tracer)
         try:
-            job_tracer.begin_span(f"job:{job.job_id}")
+            # Closed by _end_span on every exit path below, not in this
+            # scope -- the close carries the job outcome as span data.
+            job_tracer.begin_span(f"job:{job.job_id}")  # lint: allow(phase-nesting)
             ctx.check_cancelled()  # cancel may have landed while claimed
             result = self.runner(job, ctx)
             ctx.check_cancelled()  # cancel mid-run: discard the result
@@ -252,8 +254,9 @@ class WorkerPool:
         """Close the job span, tolerating a cancel tripping inside the sink."""
         try:
             if tracer.span_depth:
-                tracer.end_span(state=job.state, attempts=job.attempts,
-                                error=error if error is not None else job.error)
+                tracer.end_span(  # lint: allow(phase-nesting)
+                    state=job.state, attempts=job.attempts,
+                    error=error if error is not None else job.error)
         except JobCancelled:
             pass  # flag raced the span close; the outcome is already recorded
 

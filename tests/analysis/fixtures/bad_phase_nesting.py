@@ -1,0 +1,35 @@
+"""Fixture: unbalanced bare begin_span/end_span pairs (phase-nesting)."""
+
+
+def extra_end(tracer):
+    tracer.begin_span("a")
+    tracer.end_span()
+    tracer.end_span()  # VIOLATION: pops the caller's span
+
+
+def straddles_loop(tracer, items):
+    tracer.begin_span("outer")
+    for _item in items:
+        tracer.end_span()  # VIOLATION: closes across the loop boundary
+
+
+def never_closed(tracer):
+    tracer.begin_span("leaked")  # VIOLATION: never closed in this scope
+
+
+def balanced(tracer, items):
+    with tracer.span("context managers are always safe"):
+        pass
+    tracer.begin_span("a")
+    try:
+        pass
+    finally:
+        tracer.end_span()
+    for _item in items:
+        tracer.begin_span("per-iteration")
+        tracer.end_span()
+
+
+def delegated_close(tracer):
+    # Cross-function pairing is legitimate when annotated.
+    tracer.begin_span("job")  # lint: allow(phase-nesting)

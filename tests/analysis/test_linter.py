@@ -83,6 +83,24 @@ class TestFixturesFire:
         found = findings_for("bad_packed_key.py", ["packed-key-arithmetic"])
         assert [f.line for f in found] == [10, 16]
 
+    def test_phase_nesting_fixture(self):
+        found = findings_for("bad_phase_nesting.py", ["phase-nesting"])
+        # extra end, loop-straddling pair, leaked begin -- and nothing from
+        # the balanced patterns or the `# lint: allow(...)`-annotated line.
+        assert [f.line for f in found] == [7, 13, 17]
+        assert all(f.checker == "phase-nesting" for f in found)
+
+    def test_allow_comment_suppresses_only_named_checker(self, tmp_path):
+        bad = tmp_path / "suppressed.py"
+        bad.write_text(
+            "def f(tracer):\n"
+            "    tracer.begin_span('a')  # lint: allow(phase-nesting)\n"
+            "def g(tracer):\n"
+            "    tracer.begin_span('b')  # lint: allow(some-other-rule)\n"
+        )
+        found = check_file(bad, get_checkers(["phase-nesting"]))
+        assert [f.line for f in found] == [4]
+
     def test_clean_kernel_has_no_findings(self):
         assert findings_for("clean_kernel.py") == []
 
@@ -123,7 +141,7 @@ class TestDriver:
     def test_run_checks_sorts_across_files(self):
         found = run_checks([FIXTURES])
         assert found == sorted(found)
-        assert len(found) == 8
+        assert len(found) == 11
 
     def test_select_filters_run_checks(self):
         found = run_checks([FIXTURES], select=["out-table-reuse"])

@@ -270,3 +270,90 @@ class TestSanitizedRuns:
         with pytest.raises(InvariantViolation) as ei:
             parallel_louvain(two_cliques, num_ranks=2, sanitize=True)
         assert ei.value.invariant in ("finite-weights", "in-table-immutable")
+
+
+class TestSanitizedExtensionPaths:
+    """Sanitizer hooks on the LPA and dynamic-graph paths."""
+
+    def test_lpa_clean_run_checks_and_matches(self, two_cliques):
+        from repro.parallel import label_propagation
+
+        plain = label_propagation(two_cliques, num_ranks=3, seed=0)
+        checked = label_propagation(
+            two_cliques, num_ranks=3, seed=0, sanitize=True
+        )
+        assert np.array_equal(plain.membership, checked.membership)
+        assert checked.simulation.sanitizer.checks_run > 0
+
+    def test_lpa_traces_run_and_iterations(self, two_cliques):
+        from repro.parallel import label_propagation
+
+        tracer = Tracer()
+        res = label_propagation(two_cliques, num_ranks=2, tracer=tracer)
+        kinds = [e.kind for e in tracer.events]
+        assert EventKind.RUN_START in kinds and EventKind.RUN_END in kinds
+        assert kinds.count(EventKind.ITERATION) == res.iterations
+
+    def test_lpa_seeded_weight_corruption_raises(self, two_cliques, monkeypatch):
+        import importlib
+
+        # The package re-exports the function under the module's name, so
+        # attribute-style imports would resolve to the function.
+        lpa_mod = importlib.import_module("repro.parallel.label_propagation")
+        real = lpa_mod._propagate_labels
+
+        def corrupting(sim, partition, tables, labels, two_m=None):
+            keys, weights = tables[0].in_table.items()
+            if keys.size:  # conjure edge weight out of thin air mid-run
+                tables[0].in_table.insert_accumulate(
+                    keys[:1], np.array([7.0])
+                )
+            return real(sim, partition, tables, labels, two_m)
+
+        monkeypatch.setattr(lpa_mod, "_propagate_labels", corrupting)
+        with pytest.raises(InvariantViolation) as ei:
+            lpa_mod.label_propagation(two_cliques, num_ranks=2, sanitize=True)
+        assert ei.value.invariant == "weight-conservation"
+        assert "2m" in ei.value.message
+
+    def test_apply_edge_batch_conserves(self, two_cliques):
+        from repro.parallel.dynamic import EdgeBatch, apply_edge_batch
+
+        batch = EdgeBatch(
+            add_src=np.array([0, 1]), add_dst=np.array([5, 6]),
+            add_weight=np.array([2.0, 3.0]),
+            remove_src=np.array([0]), remove_dst=np.array([1]),
+        )
+        san = Sanitizer()
+        out = apply_edge_batch(two_cliques, batch, sanitize=san)
+        assert san.checks_run > 0
+        assert out.num_vertices == two_cliques.num_vertices
+
+    def test_apply_edge_batch_seeded_drift_raises(
+        self, two_cliques, monkeypatch
+    ):
+        import repro.parallel.dynamic as dyn_mod
+        from repro.graph import Graph
+
+        real = Graph.from_edges
+
+        def lossy(src, dst, wt, **kwargs):
+            return real(src, dst, wt * 0.5, **kwargs)  # halve every weight
+
+        monkeypatch.setattr(dyn_mod.Graph, "from_edges", staticmethod(lossy))
+        batch = dyn_mod.EdgeBatch(
+            add_src=np.array([0]), add_dst=np.array([5])
+        )
+        with pytest.raises(InvariantViolation) as ei:
+            dyn_mod.apply_edge_batch(two_cliques, batch, sanitize=True)
+        assert ei.value.invariant == "weight-conservation"
+
+    def test_incremental_louvain_sanitized(self, two_cliques):
+        from repro.parallel.dynamic import EdgeBatch, incremental_louvain
+
+        prev = np.zeros(two_cliques.num_vertices, dtype=np.int64)
+        batch = EdgeBatch(add_src=np.array([0]), add_dst=np.array([3]))
+        new_graph, result = incremental_louvain(
+            two_cliques, batch, prev, num_ranks=2, sanitize=True
+        )
+        assert result.simulation.sanitizer.checks_run > 0

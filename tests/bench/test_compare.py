@@ -1,0 +1,158 @@
+"""Tests for the BENCH summary diff and the `repro bench compare` gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_TOLERANCES,
+    Tolerance,
+    compare_summaries,
+    format_compare_table,
+)
+from repro.cli import main
+
+
+def summary(cells):
+    """Minimal BENCH document: {cell_id: {metric: median}}."""
+    return {
+        "schema": 1,
+        "label": "t",
+        "cells": {
+            cell_id: {
+                "factors": {},
+                "metrics": {
+                    metric: {"median": value, "mean": value, "stdev": 0.0,
+                             "cv": 0.0, "min": value, "max": value,
+                             "mad": 0.0, "n": 3, "outliers": []}
+                    for metric, value in metrics.items()
+                },
+            }
+            for cell_id, metrics in cells.items()
+        },
+    }
+
+
+class TestTolerance:
+    def test_defaults(self):
+        assert DEFAULT_TOLERANCES.wall_s == 0.25
+        assert DEFAULT_TOLERANCES.modeled_s == 0.05
+        assert DEFAULT_TOLERANCES.peak_mem_bytes == 0.50
+
+    def test_for_metric(self):
+        tol = Tolerance(wall_s=0.1)
+        assert tol.for_metric("wall_s") == 0.1
+        assert tol.for_metric("no_such_metric") is None
+
+
+class TestCompareSummaries:
+    def test_clean_comparison_passes(self):
+        base = summary({"c": {"wall_s": 1.0, "modeled_s": 2.0}})
+        result = compare_summaries(base, base)
+        assert not result.failed
+        assert result.checked == 2
+        assert not result.regressions and not result.missing
+
+    def test_regression_beyond_tolerance_fails(self):
+        base = summary({"c": {"wall_s": 1.0}})
+        cur = summary({"c": {"wall_s": 1.30}})  # +30% > 25% tolerance
+        result = compare_summaries(base, cur)
+        assert result.failed
+        [delta] = result.regressions
+        assert delta.metric == "wall_s"
+        assert delta.ratio == pytest.approx(1.30)
+
+    def test_within_tolerance_is_ok(self):
+        base = summary({"c": {"wall_s": 1.0}})
+        cur = summary({"c": {"wall_s": 1.20}})  # +20% < 25%
+        result = compare_summaries(base, cur)
+        assert not result.failed and len(result.ok) == 1
+
+    def test_improvement_reported_not_failed(self):
+        base = summary({"c": {"wall_s": 1.0}})
+        cur = summary({"c": {"wall_s": 0.5}})
+        result = compare_summaries(base, cur)
+        assert not result.failed
+        assert [d.status for d in result.improvements] == ["improvement"]
+
+    def test_modeled_gate_is_tight(self):
+        base = summary({"c": {"modeled_s": 1.0}})
+        cur = summary({"c": {"modeled_s": 1.10}})  # +10% > 5% modeled tol
+        assert compare_summaries(base, cur).failed
+
+    def test_missing_cell_fails(self):
+        base = summary({"a": {"wall_s": 1.0}, "b": {"wall_s": 1.0}})
+        cur = summary({"a": {"wall_s": 1.0}})
+        result = compare_summaries(base, cur)
+        assert result.failed
+        assert [d.cell_id for d in result.missing] == ["b"]
+
+    def test_missing_metric_fails(self):
+        base = summary({"c": {"wall_s": 1.0, "modeled_s": 2.0}})
+        cur = summary({"c": {"wall_s": 1.0}})
+        result = compare_summaries(base, cur)
+        assert result.failed
+        assert [d.metric for d in result.missing] == ["modeled_s"]
+
+    def test_new_cells_informational(self):
+        base = summary({"a": {"wall_s": 1.0}})
+        cur = summary({"a": {"wall_s": 1.0}, "z": {"wall_s": 9.0}})
+        result = compare_summaries(base, cur)
+        assert not result.failed
+        assert result.new_cells == ["z"]
+
+    def test_ungated_metrics_ignored(self):
+        base = summary({"c": {"modularity": 0.8}})
+        cur = summary({"c": {"modularity": 0.1}})
+        result = compare_summaries(base, cur)
+        assert not result.failed and result.checked == 0
+
+    def test_custom_tolerance(self):
+        base = summary({"c": {"wall_s": 1.0}})
+        cur = summary({"c": {"wall_s": 2.0}})
+        assert not compare_summaries(base, cur, Tolerance(wall_s=2.0)).failed
+
+
+class TestFormatTable:
+    def test_failure_report_names_the_cell(self):
+        base = summary({"c": {"wall_s": 1.0}, "gone": {"wall_s": 1.0}})
+        cur = summary({"c": {"wall_s": 2.0}})
+        text = format_compare_table(compare_summaries(base, cur))
+        assert "REGRESSION" in text and "c [wall_s]" in text
+        assert "MISSING" in text and "gone" in text
+        assert "FAIL: 1 regression(s), 1 missing" in text
+
+    def test_clean_report_says_ok(self):
+        base = summary({"c": {"wall_s": 1.0}})
+        text = format_compare_table(compare_summaries(base, base))
+        assert "ok: 1 comparison(s) within tolerance" in text
+
+
+class TestCompareCli:
+    """Exit-code contract of `repro bench compare` (the CI gate)."""
+
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", summary({"c": {"wall_s": 1.0}}))
+        assert main(["bench", "compare", base, base]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_injected_regression_exits_one(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", summary({"c": {"wall_s": 1.0}}))
+        cur = self.write(tmp_path, "cur.json", summary({"c": {"wall_s": 1.3}}))
+        assert main(["bench", "compare", base, cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag_widens_gate(self, tmp_path):
+        base = self.write(tmp_path, "base.json", summary({"c": {"wall_s": 1.0}}))
+        cur = self.write(tmp_path, "cur.json", summary({"c": {"wall_s": 1.3}}))
+        assert main(["bench", "compare", base, cur, "--tolerance", "0.5"]) == 0
+
+    def test_unreadable_summary_exits_two(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", summary({}))
+        assert main(["bench", "compare", base, str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,76 @@
+"""Tests for the robust repetition statistics (repro.bench.stats)."""
+
+import math
+
+import pytest
+
+from repro.bench import MAD_THRESHOLD, SampleStats, mad, mad_outliers, summarize
+
+
+class TestMad:
+    def test_known_value(self):
+        # median 3, |x - 3| = [2, 1, 0, 1, 2] -> MAD 1
+        assert mad([1, 2, 3, 4, 5]) == 1.0
+
+    def test_constant_sample_is_zero(self):
+        assert mad([7.0, 7.0, 7.0]) == 0.0
+
+
+class TestOutliers:
+    def test_gross_outlier_flagged(self):
+        values = [1.0, 1.01, 0.99, 1.02, 5.0]
+        assert mad_outliers(values) == [4]
+
+    def test_clean_sample_unflagged(self):
+        assert mad_outliers([1.0, 1.05, 0.95, 1.02]) == []
+
+    def test_small_samples_never_flag(self):
+        # n < 3 cannot distinguish an outlier from spread.
+        assert mad_outliers([1.0, 100.0]) == []
+
+    def test_zero_mad_never_flags(self):
+        # Constant repetitions with one change would divide by zero.
+        values = [1.0, 1.0, 1.0, 1.0, 2.0]
+        assert mad(values) == 0.0
+        assert mad_outliers(values) == []
+
+    def test_threshold_is_modified_zscore(self):
+        # Iglewicz & Hoaglin: flag when 0.6745*|x-med|/MAD > 3.5.
+        values = [10.0, 10.0 + 1.0, 10.0 - 1.0, 10.0 + 5.18, 10.0]
+        # modified z of the 4th value: 0.6745*5.18/1.0 = 3.49 -> unflagged
+        assert mad_outliers(values) == []
+        values[3] = 10.0 + 5.2  # 3.507 -> flagged
+        assert mad_outliers(values) == [3]
+        assert MAD_THRESHOLD == 3.5
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.n == 3
+        assert s.median == 4.0
+        assert s.mean == 4.0
+        assert s.min == 2.0 and s.max == 6.0
+        assert s.stdev == pytest.approx(2.0)
+        assert s.cv == pytest.approx(0.5)
+
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert s.n == 1 and s.stdev == 0.0 and s.cv == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, math.nan])
+
+    def test_roundtrip(self):
+        s = summarize([1.0, 2.0, 30.0, 2.5])
+        again = SampleStats.from_dict(s.to_dict())
+        assert again == s
+
+    def test_outliers_recorded(self):
+        s = summarize([1.0, 1.01, 0.99, 1.02, 50.0])
+        assert s.outliers == (4,)
