@@ -20,13 +20,19 @@ Two prongs guard the SPMD discipline the paper's algorithm depends on:
 """
 
 from . import checkers  # noqa: F401  (imports register the built-in checkers)
-from .findings import Finding, format_findings
+from . import locks  # noqa: F401  (imports register the concurrency checkers)
+from .findings import Finding, findings_to_json, findings_to_sarif, format_findings
 from .linter import (
     CHECKERS,
     CheckerBase,
+    Suppression,
+    apply_baseline,
+    available_profiles,
     check_file,
     get_checkers,
     iter_python_files,
+    list_suppressions,
+    load_baseline,
     register_checker,
     run_checks,
 )
@@ -42,13 +48,20 @@ from .sanitizer import (
 __all__ = [
     "Finding",
     "format_findings",
+    "findings_to_json",
+    "findings_to_sarif",
     "CheckerBase",
     "CHECKERS",
     "register_checker",
     "get_checkers",
+    "available_profiles",
     "iter_python_files",
     "check_file",
     "run_checks",
+    "load_baseline",
+    "apply_baseline",
+    "list_suppressions",
+    "Suppression",
     "InvariantViolation",
     "Sanitizer",
     "NullSanitizer",

@@ -1,0 +1,360 @@
+"""Per-function control-flow graphs over Python AST.
+
+The dataflow engine (:mod:`repro.analysis.dataflow`) needs statement-level
+control flow: which simple statements can execute after which, including
+loop back edges, branch joins and the conservative "any statement in a
+``try`` body may raise" edges.  :func:`build_cfg` lowers one function body
+(or a module top level) into :class:`BasicBlock`\\ s of *simple* statements
+plus four pseudo-statements that surface structure the AST hides inside
+compound nodes:
+
+``WithEnter`` / ``WithExit``
+    Bracket a ``with`` body.  Lock-set analysis treats them as acquire and
+    release points; the exit marker is only on the *normal* path -- an
+    exception or ``return`` inside the body leaves through the function
+    exit, which is sound for must-hold lock analysis because those paths
+    release the lock on the way out.
+
+``LoopHead``
+    The evaluation of a ``for`` iterable (plus target binding) or a
+    ``while`` test.  It re-executes on every trip around the loop, which is
+    exactly where a stale value read by the iterable expression must be
+    observed.
+
+``BranchHead``
+    The test of an ``if`` / subject of a ``match``, evaluated once before
+    the branch splits.
+
+Blocks hold statements in source order; edges are stored as sorted id
+lists so traversals are deterministic.  ``try`` is approximated
+conservatively: every block of the body gets an edge to every handler
+entry (any statement may raise), and ``finally`` joins all of body /
+handler / else exits.  Nested ``def`` / ``class`` statements are kept as
+opaque simple statements -- each nested function gets its own CFG via
+:func:`function_cfgs`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = [
+    "WithEnter",
+    "WithExit",
+    "LoopHead",
+    "BranchHead",
+    "CfgStatement",
+    "BasicBlock",
+    "CFG",
+    "build_cfg",
+    "function_cfgs",
+]
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Pseudo-statement: control enters a ``with`` body (resources acquired)."""
+
+    node: Union[ast.With, ast.AsyncWith]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def col_offset(self) -> int:
+        return self.node.col_offset
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Pseudo-statement: normal exit of a ``with`` body (resources released)."""
+
+    node: Union[ast.With, ast.AsyncWith]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def col_offset(self) -> int:
+        return self.node.col_offset
+
+
+@dataclass(frozen=True)
+class LoopHead:
+    """Pseudo-statement: loop head evaluation (``for`` iter / ``while`` test)."""
+
+    node: Union[ast.For, ast.AsyncFor, ast.While]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def col_offset(self) -> int:
+        return self.node.col_offset
+
+
+@dataclass(frozen=True)
+class BranchHead:
+    """Pseudo-statement: branch test evaluation (``if`` / ``match`` subject)."""
+
+    node: Union[ast.If, ast.Match]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def col_offset(self) -> int:
+        return self.node.col_offset
+
+
+#: Everything a block may hold: simple AST statements plus the pseudo nodes.
+CfgStatement = Union[ast.stmt, WithEnter, WithExit, LoopHead, BranchHead]
+
+#: Statements that terminate a block by transferring control elsewhere.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+#: Compound statements that never transfer control (kept as simple stmts).
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of (pseudo-)statements."""
+
+    id: int
+    stmts: list[CfgStatement] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def add_succ(self, other: "BasicBlock") -> None:
+        if other.id not in self.succs:
+            self.succs.append(other.id)
+            self.succs.sort()
+        if self.id not in other.preds:
+            other.preds.append(self.id)
+            other.preds.sort()
+
+
+class CFG:
+    """Control-flow graph of one function body (or a module top level)."""
+
+    def __init__(self, func: ast.AST | None = None) -> None:
+        self.func = func
+        self.blocks: dict[int, BasicBlock] = {}
+        entry = self.new_block()
+        exit_ = self.new_block()
+        self.entry = entry.id
+        self.exit = exit_.id
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(id=len(self.blocks))
+        self.blocks[block.id] = block
+        return block
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def statements(self) -> Iterator[CfgStatement]:
+        """All statements in block-id (roughly source) order."""
+        for block_id in sorted(self.blocks):
+            yield from self.blocks[block_id].stmts
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+class _Builder:
+    def __init__(self, func: ast.AST | None) -> None:
+        self.cfg = CFG(func)
+        #: (head_block_id, after_block_id) per enclosing loop.
+        self._loops: list[tuple[int, int]] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        cur = self.cfg.block(self.cfg.entry)
+        last = self._run(body, cur)
+        if last is not None:
+            last.add_succ(self.cfg.block(self.cfg.exit))
+        return self.cfg
+
+    # ------------------------------------------------------------------ #
+    # Statement lowering.  Each handler takes the current block and
+    # returns the block where control continues, or None if control
+    # never falls through (return/raise/break/continue on all paths).
+    # ------------------------------------------------------------------ #
+
+    def _run(self, body: list[ast.stmt], cur: BasicBlock | None) -> BasicBlock | None:
+        for stmt in body:
+            if cur is None:
+                # Unreachable code still gets blocks (so every statement
+                # is in the graph) but no incoming edges.
+                cur = self.cfg.new_block()
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: BasicBlock) -> BasicBlock | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cur)
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            return self._try(stmt, cur)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cur)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cur.stmts.append(stmt)
+            cur.add_succ(self.cfg.block(self.cfg.exit))
+            return None
+        if isinstance(stmt, ast.Break):
+            cur.stmts.append(stmt)
+            if self._loops:
+                cur.add_succ(self.cfg.block(self._loops[-1][1]))
+            return None
+        if isinstance(stmt, ast.Continue):
+            cur.stmts.append(stmt)
+            if self._loops:
+                cur.add_succ(self.cfg.block(self._loops[-1][0]))
+            return None
+        # Simple statement (incl. opaque nested def/class).
+        cur.stmts.append(stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: BasicBlock) -> BasicBlock | None:
+        cur.stmts.append(BranchHead(stmt))
+        after = self.cfg.new_block()
+        then_entry = self.cfg.new_block()
+        cur.add_succ(then_entry)
+        then_end = self._run(stmt.body, then_entry)
+        if then_end is not None:
+            then_end.add_succ(after)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            cur.add_succ(else_entry)
+            else_end = self._run(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_succ(after)
+        else:
+            cur.add_succ(after)
+        return after if after.preds else None
+
+    def _loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], cur: BasicBlock
+    ) -> BasicBlock | None:
+        head = self.cfg.new_block()
+        head.stmts.append(LoopHead(stmt))
+        cur.add_succ(head)
+        after = self.cfg.new_block()
+        body_entry = self.cfg.new_block()
+        head.add_succ(body_entry)
+        self._loops.append((head.id, after.id))
+        body_end = self._run(stmt.body, body_entry)
+        self._loops.pop()
+        if body_end is not None:
+            body_end.add_succ(head)  # back edge
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            head.add_succ(else_entry)
+            else_end = self._run(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_succ(after)
+        else:
+            head.add_succ(after)
+        return after if after.preds else None
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], cur: BasicBlock
+    ) -> BasicBlock | None:
+        cur.stmts.append(WithEnter(stmt))
+        end = self._run(stmt.body, cur)
+        if end is None:
+            return None  # body never falls through; exits release implicitly
+        end.stmts.append(WithExit(stmt))
+        return end
+
+    def _try(self, stmt: ast.Try, cur: BasicBlock) -> BasicBlock | None:
+        after = self.cfg.new_block()
+        body_entry = self.cfg.new_block()
+        cur.add_succ(body_entry)
+        first_body_id = body_entry.id
+        body_end = self._run(stmt.body, body_entry)
+        last_body_id = len(self.cfg.blocks) - 1
+        ends: list[BasicBlock] = []
+        if stmt.orelse:
+            if body_end is not None:
+                else_entry = self.cfg.new_block()
+                body_end.add_succ(else_entry)
+                else_end = self._run(stmt.orelse, else_entry)
+                if else_end is not None:
+                    ends.append(else_end)
+        elif body_end is not None:
+            ends.append(body_end)
+        # Any statement in the body may raise: edge from every body block
+        # to every handler entry.
+        body_ids = [
+            b for b in range(first_body_id, last_body_id + 1) if b in self.cfg.blocks
+        ]
+        for handler in stmt.handlers:
+            h_entry = self.cfg.new_block()
+            for b in body_ids:
+                self.cfg.block(b).add_succ(h_entry)
+            h_end = self._run(handler.body, h_entry)
+            if h_end is not None:
+                ends.append(h_end)
+        if stmt.finalbody:
+            final_entry = self.cfg.new_block()
+            for end in ends:
+                end.add_succ(final_entry)
+            if not ends:
+                # All paths diverge, but the finally still runs on the way
+                # out; approximate with an edge from the try entry.
+                self.cfg.block(first_body_id).add_succ(final_entry)
+            final_end = self._run(stmt.finalbody, final_entry)
+            if final_end is not None:
+                final_end.add_succ(after)
+        else:
+            for end in ends:
+                end.add_succ(after)
+        return after if after.preds else None
+
+    def _match(self, stmt: ast.Match, cur: BasicBlock) -> BasicBlock | None:
+        cur.stmts.append(BranchHead(stmt))
+        after = self.cfg.new_block()
+        exhaustive = False
+        for case in stmt.cases:
+            case_entry = self.cfg.new_block()
+            cur.add_succ(case_entry)
+            case_end = self._run(case.body, case_entry)
+            if case_end is not None:
+                case_end.add_succ(after)
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                exhaustive = True  # a bare wildcard case: no fallthrough
+        if not exhaustive:
+            cur.add_succ(after)
+        return after if after.preds else None
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one function's (or module's) immediate body."""
+    body = getattr(func, "body", None)
+    if not isinstance(body, list):
+        raise TypeError(f"node {type(func).__name__} has no statement body")
+    return _Builder(func).build(body)
+
+
+def function_cfgs(tree: ast.Module) -> Iterator[tuple[ast.AST, CFG]]:
+    """Yield ``(func_node, cfg)`` for every (nested) function in a module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, build_cfg(node)

@@ -55,6 +55,7 @@ __all__ = [
     "OutTableReuseChecker",
     "PackedKeyArithmeticChecker",
     "PhaseNestingChecker",
+    "StaleReadChecker",
 ]
 
 #: Variable names conventionally bound to the per-rank state list.
@@ -447,3 +448,261 @@ class PhaseNestingChecker(CheckerBase):
                 "phase nests under it and Fig. 8 aggregation double-counts; "
                 "close it in a finally block or use `with tracer.span()`",
             )
+
+
+# --------------------------------------------------------------------- #
+# Superstep staleness dataflow (``spmd-stale-read``)
+# --------------------------------------------------------------------- #
+
+from .cfg import (  # noqa: E402  (dataflow stack has no import cycle back here)
+    BranchHead,
+    CfgStatement,
+    LoopHead,
+    WithEnter,
+    WithExit,
+    build_cfg,
+)
+from .dataflow import ForwardAnalysis, solve, visit_statements  # noqa: E402
+from .findings import Finding  # noqa: E402
+
+#: Calls whose result is derived from the local Out_Table snapshot.
+_STALE_SOURCES = frozenset({"out_entries", "out_items", "lookup_tot"})
+
+#: Superstep boundaries: everything derived from pre-boundary local state
+#: is invalid afterwards unless it arrived through the collective itself.
+_KILL_CALLS = frozenset(
+    {"exchange", "barrier", "allreduce_sum", "allreduce_max", "allgather"}
+)
+
+#: Container mutators that store a value into an existing collection.
+_STORE_METHODS = frozenset(
+    {"append", "add", "extend", "insert", "setdefault", "update"}
+)
+
+_FRESH = "fresh"
+_STALE = "stale"
+
+
+def _expr_nodes(stmt: CfgStatement) -> list[ast.AST]:
+    """The expressions a CFG (pseudo-)statement evaluates."""
+    if isinstance(stmt, WithEnter):
+        return [item.context_expr for item in stmt.node.items]
+    if isinstance(stmt, WithExit):
+        return []
+    if isinstance(stmt, LoopHead):
+        node = stmt.node
+        return [node.iter if isinstance(node, (ast.For, ast.AsyncFor)) else node.test]
+    if isinstance(stmt, BranchHead):
+        node = stmt.node
+        return [node.test if isinstance(node, ast.If) else node.subject]
+    return [stmt]
+
+
+def _name_reads(stmt: CfgStatement) -> Iterator[ast.Name]:
+    """Name nodes read (Load ctx, plus AugAssign targets) by a statement."""
+    for expr in _expr_nodes(stmt):
+        for node in _walk_same_scope([expr]):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                yield node
+    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        yield stmt.target
+
+
+def _contains_call(exprs: Iterable[ast.AST], tails: frozenset[str]) -> bool:
+    for expr in exprs:
+        for node in _walk_same_scope([expr]):
+            if isinstance(node, ast.Call) and _call_chain(node)[-1] in tails:
+                return True
+    return False
+
+
+def _is_source_expr(expr: ast.AST) -> bool:
+    """Does this expression derive a value from the local Out_Table?"""
+    for node in _walk_same_scope([expr]):
+        if isinstance(node, ast.Call) and _call_chain(node)[-1] in _STALE_SOURCES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "out_table":
+            return True
+    return False
+
+
+def _receiver_root(node: ast.AST) -> str | None:
+    """Base Name of a receiver expression, through attr/call/subscript links.
+
+    ``requests.setdefault(dst, []).append`` -> ``"requests"``.
+    """
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return None
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+class _StaleTaintAnalysis(ForwardAnalysis):
+    """May-analysis: name -> 'fresh' (pre-boundary value) | 'stale'.
+
+    A name becomes *fresh-tainted* when assigned a value derived from the
+    local Out_Table (``out_entries`` / ``lookup_tot`` / a direct
+    ``.out_table`` read).  A superstep boundary (``exchange`` / ``barrier``
+    / ``allreduce*`` / ``allgather``) demotes every tainted name to
+    *stale*: peers have moved on, the snapshot no longer agrees with
+    anything.  Assigning the *result* of a collective clears the name --
+    that is the one sanctioned way data crosses the boundary.
+    """
+
+    def entry_state(self) -> dict[str, str]:
+        return {}
+
+    def join(self, a: dict[str, str], b: dict[str, str]) -> dict[str, str]:
+        out = dict(a)
+        for name, level in b.items():
+            if name in out and out[name] != level:
+                out[name] = _STALE
+            else:
+                out.setdefault(name, level)
+        return out
+
+    def _rhs_level(self, value: ast.AST, state: dict[str, str]) -> str | None:
+        """Taint level an RHS confers: None = clean, else fresh/stale.
+
+        Taint propagates through a *direct alias* (``copy = entries``) but
+        not through arbitrary computation: a scalar folded from Out_Table
+        data before the boundary (``local = sum(w for ... in entries)``)
+        is the standard local-reduce idiom -- the fold consumed the data
+        pre-boundary, and the stale-read rule already fires if the raw
+        container itself is touched afterwards.
+        """
+        if _contains_call([value], _KILL_CALLS):
+            return None  # collective result: sanctioned crossing
+        if isinstance(value, ast.Name):
+            return state.get(value.id)
+        if _is_source_expr(value):
+            return _FRESH
+        return None
+
+    def transfer(self, state: dict[str, str], stmt: CfgStatement) -> dict[str, str]:
+        if isinstance(stmt, (WithEnter, WithExit, BranchHead)):
+            return state
+        new = dict(state)
+        if isinstance(stmt, LoopHead):
+            node = stmt.node
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                level = self._rhs_level(node.iter, state)
+                for name in _target_names(node.target):
+                    if level is None:
+                        new.pop(name, None)
+                    else:
+                        new[name] = level
+            return new
+        # Real statement.  Reads conceptually happen first, then any
+        # boundary crossing, then the binding of assignment targets.
+        has_kill = _contains_call(_expr_nodes(stmt), _KILL_CALLS)
+        updates: dict[str, str | None] = {}
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                level = self._rhs_level(value, state)
+                if isinstance(stmt, ast.AugAssign) and level is None:
+                    level = state.get(
+                        stmt.target.id if isinstance(stmt.target, ast.Name) else ""
+                    )
+                for target in targets:
+                    for name in _target_names(target):
+                        updates[name] = level
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    updates[name] = None
+        # Storing a tainted value into a collection taints the collection:
+        # requests[dst].append(key) makes `requests` carry pre-boundary data.
+        for expr in _expr_nodes(stmt):
+            for node in _walk_same_scope([expr]):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _call_chain(node)[-1] not in _STORE_METHODS:
+                    continue
+                root = _receiver_root(node.func)
+                if root is None or root == "self":
+                    continue
+                arg_level: str | None = None
+                for arg in node.args:
+                    got = self._rhs_level(arg, state)
+                    if got == _STALE:
+                        arg_level = _STALE
+                        break
+                    if got == _FRESH:
+                        arg_level = _FRESH
+                if arg_level is not None and updates.get(root) is not _STALE:
+                    updates[root] = arg_level
+        if has_kill:
+            for name in new:
+                new[name] = _STALE
+        for name, level in updates.items():
+            if level is None:
+                new.pop(name, None)
+            else:
+                new[name] = level
+        return new
+
+
+@register_checker
+class StaleReadChecker(CheckerBase):
+    """Flag pre-boundary Out_Table-derived values read after a boundary."""
+
+    name = "spmd-stale-read"
+    description = (
+        "a value derived from the local Out_Table before an exchange/"
+        "barrier must not be read after it; cross-boundary data has to "
+        "arrive through the collective's result"
+    )
+    profile = "spmd"
+    severity = "error"
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(node, path)
+
+    def _check_function(self, func: ast.AST, path: str) -> Iterable[Finding]:
+        cfg = build_cfg(func)
+        analysis = _StaleTaintAnalysis()
+        in_states = solve(cfg, analysis)
+        findings: list[Finding] = []
+        flagged: set[int] = set()
+
+        def visit(stmt: CfgStatement, state: dict[str, str]) -> None:
+            for name in _name_reads(stmt):
+                if state.get(name.id) == _STALE and id(name) not in flagged:
+                    flagged.add(id(name))
+                    findings.append(
+                        self.finding(
+                            path, name,
+                            f"{name.id!r} was derived from the local "
+                            "Out_Table before an exchange/barrier and is "
+                            "read after the superstep boundary; recompute "
+                            "it or receive it through the collective's "
+                            "result",
+                        )
+                    )
+
+        visit_statements(cfg, analysis, in_states, visit)
+        yield from findings

@@ -1,0 +1,130 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A client analysis subclasses :class:`ForwardAnalysis` and provides the
+classic abstract-interpretation triple:
+
+* ``entry_state()`` -- the abstract state at function entry;
+* ``transfer(state, stmt)`` -- the effect of one (pseudo-)statement,
+  returning a **new** state (states are treated as immutable values);
+* ``join(a, b)`` -- the least upper bound of two states where control
+  paths merge (set union for may-analyses, intersection for
+  must-analyses).
+
+:func:`solve` runs the standard worklist fixpoint: block in-states are the
+join over predecessor out-states, out-states are the in-state pushed
+through the block's statements.  Termination needs the usual contract --
+``join`` monotone w.r.t. ``equals`` and a finite-height lattice; a safety
+cap raises :class:`FixpointDiverged` instead of spinning if a client
+violates it.  Unreachable blocks keep an in-state of ``None`` (client code
+can treat that as "top": the join identity -- ``solve`` never joins it in).
+
+:func:`visit_statements` replays the converged solution statement by
+statement so checkers can inspect the abstract state *just before* each
+statement executes -- the lock set held at a mutation, the staleness of a
+name at a read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from .cfg import CFG, CfgStatement
+
+__all__ = [
+    "ForwardAnalysis",
+    "FixpointDiverged",
+    "solve",
+    "visit_statements",
+]
+
+
+class FixpointDiverged(RuntimeError):
+    """The worklist exceeded its iteration budget (non-monotone client)."""
+
+
+class ForwardAnalysis:
+    """Base class for forward dataflow analyses (see module docstring)."""
+
+    def entry_state(self) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, state: Any, stmt: CfgStatement) -> Any:
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def equals(self, a: Any, b: Any) -> bool:
+        return bool(a == b)
+
+
+def _block_out(analysis: ForwardAnalysis, cfg: CFG, block_id: int, state: Any) -> Any:
+    for stmt in cfg.block(block_id).stmts:
+        state = analysis.transfer(state, stmt)
+    return state
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, Any]:
+    """Fixpoint block in-states; unreachable blocks map to ``None``.
+
+    The iteration budget is ``(num_blocks + 1) * (num_blocks + edges + 8)``
+    -- generous for any finite-height lattice (each block can be revisited
+    at most once per lattice step along each incoming path) and small
+    enough to fail fast on a diverging client.
+    """
+    in_states: dict[int, Any] = {b: None for b in cfg.blocks}
+    in_states[cfg.entry] = analysis.entry_state()
+    out_states: dict[int, Any] = {}
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    num_edges = sum(len(b.succs) for b in cfg.blocks.values())
+    budget = (cfg.num_blocks + 1) * (cfg.num_blocks + num_edges + 8)
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > budget:
+            raise FixpointDiverged(
+                f"dataflow fixpoint exceeded {budget} steps on a "
+                f"{cfg.num_blocks}-block CFG; transfer/join is not monotone"
+            )
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        state = in_states[block_id]
+        if state is None:
+            continue  # not yet reachable
+        out = _block_out(analysis, cfg, block_id, state)
+        if block_id in out_states and analysis.equals(out_states[block_id], out):
+            continue
+        out_states[block_id] = out
+        for succ in cfg.block(block_id).succs:
+            prev = in_states[succ]
+            merged = out if prev is None else analysis.join(prev, out)
+            if prev is None or not analysis.equals(prev, merged):
+                in_states[succ] = merged
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return in_states
+
+
+def visit_statements(
+    cfg: CFG,
+    analysis: ForwardAnalysis,
+    in_states: dict[int, Any],
+    visit: Callable[[CfgStatement, Any], None],
+) -> None:
+    """Replay the solution, calling ``visit(stmt, state_before)`` per stmt.
+
+    Blocks are visited in id order (roughly source order) so any findings a
+    checker collects come out deterministically; unreachable blocks are
+    skipped -- no state can reach them, so nothing can go wrong in them at
+    runtime either.
+    """
+    for block_id in sorted(cfg.blocks):
+        state = in_states.get(block_id)
+        if state is None:
+            continue
+        for stmt in cfg.block(block_id).stmts:
+            visit(stmt, state)
+            state = analysis.transfer(state, stmt)

@@ -3,16 +3,30 @@
 A :class:`Finding` pins one rule violation to a source location.  Findings
 sort by ``(path, line, col)`` so `repro check` output is deterministic
 regardless of checker execution order, and :func:`format_findings` renders
-the familiar ``path:line:col: [checker] message`` form compilers use (so
-editors and CI annotations can parse it).
+the familiar ``path:line:col: severity: [checker] message`` form compilers
+use (so editors and CI annotations can parse it).
+
+Two machine-readable renderings back the CI baseline workflow:
+:func:`findings_to_json` (the format diffed against
+``benchmarks/check_baseline.json``) and :func:`findings_to_sarif` (minimal
+SARIF 2.1.0 for code-scanning UIs).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
-__all__ = ["Finding", "format_findings"]
+__all__ = [
+    "Finding",
+    "format_findings",
+    "findings_to_json",
+    "findings_to_sarif",
+]
+
+#: Valid severities, in increasing order of badness.
+SEVERITIES = ("warning", "error")
 
 
 @dataclass(frozen=True, order=True)
@@ -24,9 +38,13 @@ class Finding:
     col: int
     checker: str
     message: str
+    severity: str = "error"
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: [{self.checker}] {self.message}"
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.severity}: "
+            f"[{self.checker}] {self.message}"
+        )
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -35,3 +53,63 @@ class Finding:
 def format_findings(findings: Iterable[Finding]) -> str:
     """Render findings sorted by location, one per line."""
     return "\n".join(f.format() for f in sorted(findings))
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Render findings as the JSON document the baseline workflow diffs."""
+    payload = {"findings": [f.to_dict() for f in sorted(findings)]}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def findings_to_sarif(
+    findings: Iterable[Finding],
+    rule_descriptions: Mapping[str, str] | None = None,
+) -> str:
+    """Render findings as a minimal SARIF 2.1.0 log.
+
+    ``rule_descriptions`` maps checker name to its one-line description for
+    the tool's rule metadata; unknown rules get an empty description.
+    """
+    findings = sorted(findings)
+    descriptions = dict(rule_descriptions or {})
+    rule_ids = sorted({f.checker for f in findings})
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": descriptions.get(rid, "")},
+        }
+        for rid in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": f.checker,
+            "level": f.severity if f.severity in SEVERITIES else "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

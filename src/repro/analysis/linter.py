@@ -25,9 +25,14 @@ __all__ = [
     "CHECKERS",
     "register_checker",
     "get_checkers",
+    "available_profiles",
     "iter_python_files",
     "check_file",
     "run_checks",
+    "load_baseline",
+    "apply_baseline",
+    "list_suppressions",
+    "Suppression",
 ]
 
 
@@ -35,12 +40,17 @@ class CheckerBase:
     """Base class for AST checkers.
 
     Subclasses set ``name`` / ``description`` and implement :meth:`check`.
-    ``finding`` is a convenience that stamps the checker id and the node's
-    location onto the message.
+    ``finding`` is a convenience that stamps the checker id, severity and
+    the node's location onto the message.  ``profile`` groups checkers for
+    ``repro check --profile`` (``spmd`` = superstep-protocol rules,
+    ``concurrency`` = lock-discipline rules); ``severity`` is ``"error"``
+    for definite bugs and ``"warning"`` for judgement calls worth a look.
     """
 
     name: str = ""
     description: str = ""
+    profile: str = "spmd"
+    severity: str = "error"
 
     def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
         raise NotImplementedError
@@ -52,6 +62,7 @@ class CheckerBase:
             col=getattr(node, "col_offset", 0) + 1,
             checker=self.name,
             message=message,
+            severity=self.severity,
         )
 
 
@@ -74,17 +85,35 @@ def register_checker(cls: type[CheckerBase]) -> type[CheckerBase]:
     return cls
 
 
-def get_checkers(select: Sequence[str] | None = None) -> list[CheckerBase]:
-    """Instantiate the selected checkers (all registered ones by default)."""
-    if select is None:
-        names = sorted(CHECKERS)
-    else:
+def available_profiles() -> list[str]:
+    """Profiles declared by registered checkers, plus the ``all`` union."""
+    return sorted({cls.profile for cls in CHECKERS.values()} | {"all"})
+
+
+def get_checkers(
+    select: Sequence[str] | None = None, *, profile: str | None = None
+) -> list[CheckerBase]:
+    """Instantiate the selected checkers.
+
+    ``select`` (explicit checker names) wins over ``profile``; with neither,
+    every registered checker runs.  ``profile="all"`` is the union.
+    """
+    if select is not None:
         unknown = [n for n in select if n not in CHECKERS]
         if unknown:
             raise ValueError(
                 f"unknown checker(s) {unknown}; available: {sorted(CHECKERS)}"
             )
         names = list(select)
+    elif profile is not None and profile != "all":
+        profiles = available_profiles()
+        if profile not in profiles:
+            raise ValueError(
+                f"unknown profile {profile!r}; available: {profiles}"
+            )
+        names = sorted(n for n, cls in CHECKERS.items() if cls.profile == profile)
+    else:
+        names = sorted(CHECKERS)
     return [CHECKERS[n]() for n in names]
 
 
@@ -100,9 +129,10 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise FileNotFoundError(f"not a Python file or directory: {path}")
 
 
-#: Trailing-comment suppression: ``# lint: allow(checker-a, checker-b)`` on
-#: the offending line silences those checkers for that line only.  Checkers
-#: work on the AST and never see comments, so the engine applies this filter.
+#: Trailing-comment suppression: a trailing ``lint: allow(checker-a,
+#: checker-b)`` comment on the offending line silences those checkers for
+#: that line only.  Checkers work on the AST and never see comments, so
+#: the engine applies this filter.
 _ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([\w\s,-]+)\)")
 
 
@@ -155,11 +185,111 @@ def check_file(
 
 
 def run_checks(
-    paths: Iterable[str | Path], *, select: Sequence[str] | None = None
+    paths: Iterable[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    profile: str | None = None,
 ) -> list[Finding]:
     """Run the selected checkers over every Python file under ``paths``."""
-    checkers = get_checkers(select)
+    checkers = get_checkers(select, profile=profile)
     findings: list[Finding] = []
     for path in iter_python_files(paths):
         findings.extend(check_file(path, checkers))
     return sorted(findings)
+
+
+# --------------------------------------------------------------------- #
+# Findings baseline (``--baseline`` / ``--write-baseline``)
+# --------------------------------------------------------------------- #
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """Load a baseline file written by ``repro check --write-baseline``."""
+    import json
+
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data.get("findings", data) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: expected a findings list")
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[dict]
+) -> tuple[list[Finding], list[dict]]:
+    """Subtract baselined findings; return ``(new_findings, stale_entries)``.
+
+    Matching is a multiset over ``(path, checker, message)`` -- line numbers
+    deliberately don't participate, so unrelated edits that shift a known
+    finding up or down do not break CI.  Paths compare by suffix in either
+    direction, tolerating absolute-vs-relative invocation differences.
+    ``stale_entries`` are baseline rows that matched nothing: the debt was
+    paid and the row should be deleted (``--write-baseline`` regenerates).
+    """
+    remaining = list(findings)
+    stale: list[dict] = []
+    for entry in baseline:
+        epath = str(entry.get("path", ""))
+        echecker = entry.get("checker")
+        emessage = entry.get("message")
+        matched = None
+        for f in remaining:
+            if (
+                f.checker == echecker
+                and f.message == emessage
+                and (f.path.endswith(epath) or epath.endswith(f.path))
+            ):
+                matched = f
+                break
+        if matched is None:
+            stale.append(entry)
+        else:
+            remaining.remove(matched)
+    return remaining, stale
+
+
+# --------------------------------------------------------------------- #
+# Suppression audit (``--list-suppressions``)
+# --------------------------------------------------------------------- #
+
+
+class Suppression:
+    """One ``# lint: allow(...)`` site found by :func:`list_suppressions`."""
+
+    __slots__ = ("path", "line", "checkers", "source", "unknown")
+
+    def __init__(
+        self, path: str, line: int, checkers: tuple[str, ...], source: str
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.checkers = checkers
+        self.source = source
+        self.unknown = tuple(c for c in checkers if c not in CHECKERS)
+
+    def format(self) -> str:
+        names = ", ".join(self.checkers)
+        note = ""
+        if self.unknown:
+            note = f"  [WARNING: unknown checker(s): {', '.join(self.unknown)}]"
+        return f"{self.path}:{self.line}: allow({names}){note}  | {self.source.strip()}"
+
+
+def list_suppressions(paths: Iterable[str | Path]) -> list[Suppression]:
+    """Find every ``# lint: allow(...)`` comment under ``paths``.
+
+    Suppressions rot: the code they excused gets rewritten and the comment
+    lingers, silently masking future regressions.  This audit gives them a
+    review surface; entries naming unregistered checkers are flagged.
+    """
+    out: list[Suppression] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                names = tuple(
+                    n.strip() for n in match.group(1).split(",") if n.strip()
+                )
+                out.append(Suppression(str(path), lineno, names, line))
+    return out

@@ -1,0 +1,800 @@
+"""Lock-set dataflow analysis and the concurrency checker family.
+
+``repro serve`` runs real threads: workers drain the job queue while HTTP
+handlers read snapshots and counters.  The GIL hides none of the classic
+lock bugs -- a mutation outside the lock that guards it elsewhere, blocking
+work done while holding a hot lock, two locks taken in opposite orders on
+two code paths, a condition wait whose predicate is checked with ``if``
+instead of ``while``.  This module proves the *discipline* statically, per
+module, on top of the CFG + dataflow engine:
+
+1. **Lock discovery** -- any ``self.X = threading.Lock()`` (or ``RLock`` /
+   ``Condition`` / ``Semaphore``) assigned in a class, and module-level
+   equivalents.  ``threading.Condition(self._lock)`` aliases the condition
+   attribute to the lock it wraps, so ``with self._not_empty:`` and
+   ``with self._lock:`` count as the same lock.
+
+2. **Held-set analysis** -- a forward *must* dataflow (join = intersection)
+   over each function's CFG: a lock is held at a point only if it is held
+   on **every** path there.  ``with`` entries acquire, normal ``with``
+   exits release, bare ``.acquire()`` / ``.release()`` calls are honored.
+
+3. **Helper propagation** -- a private (``_``-prefixed) method that is only
+   ever *called* (never referenced bare, e.g. as a thread target) gets the
+   intersection of the lock sets held at its intra-class call sites as its
+   entry state, iterated to a fixpoint.  This keeps the idiomatic
+   "``_push_ready`` is always called under ``self._lock``" pattern clean
+   without interprocedural analysis proper.
+
+The four checkers built on the artifacts:
+
+``unguarded-shared-state``
+    An attribute mutated somewhere under a lock and somewhere without any
+    lock: the unlocked sites race every locked one.
+
+``blocking-call-under-lock``
+    Known-blocking work (``detect_communities`` / ``incremental_louvain``,
+    ``sleep``, socket/file I/O on file-ish receivers) while holding a lock
+    serializes every other thread behind a slow operation.
+
+``lock-order-inversion``
+    The per-module lock acquisition graph (edge A -> B when B is acquired
+    while A is held) has a cycle, or a non-reentrant lock is re-acquired
+    under itself: both are deadlocks waiting for the right interleaving.
+
+``condition-wait-no-loop``
+    ``Condition.wait()`` outside a loop: wakeups are spurious and the
+    predicate can be falsified between ``notify`` and the waiter running,
+    so the wait must re-check in a ``while``.
+
+Known approximations (see DESIGN.md): the held set is a *set*, so exiting
+an inner ``with`` on a re-entrant lock conservatively drops it; mutations
+through aliases (``d = self._jobs; d[k] = v``) and cross-class call chains
+are not tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .cfg import CFG, BranchHead, CfgStatement, LoopHead, WithEnter, WithExit, build_cfg
+from .checkers import _attr_chain, _call_chain, _walk_same_scope
+from .dataflow import ForwardAnalysis, solve, visit_statements
+from .findings import Finding
+from .linter import CheckerBase, register_checker
+
+__all__ = [
+    "LockId",
+    "LockInfo",
+    "ModuleLockAnalysis",
+    "UnguardedSharedStateChecker",
+    "BlockingCallUnderLockChecker",
+    "LockOrderInversionChecker",
+    "ConditionWaitChecker",
+]
+
+
+#: threading constructors recognized as lock-like; value = re-entrant.
+_LOCK_CONSTRUCTORS = {
+    "Lock": False,
+    "RLock": True,
+    "Condition": True,  # owns an RLock unless given another lock
+    "Semaphore": False,
+    "BoundedSemaphore": False,
+}
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "add", "discard",
+        "remove", "pop", "popleft", "popitem", "clear", "update",
+        "setdefault", "sort", "reverse",
+    }
+)
+
+#: Call tails that block (or grind) while any lock is held.
+_BLOCKING_CALLS = frozenset(
+    {
+        "detect_communities", "incremental_louvain", "label_propagation",
+        "sleep", "urlopen", "accept", "connect", "getaddrinfo",
+    }
+)
+#: File/socket-ish receiver names whose I/O methods count as blocking.
+_FILEISH_RECEIVERS = frozenset(
+    {"_fh", "fh", "fp", "file", "_file", "sock", "_sock", "socket",
+     "conn", "stream", "wfile", "rfile"}
+)
+_FILEISH_METHODS = frozenset(
+    {"read", "readline", "readlines", "write", "writelines", "flush",
+     "close", "recv", "send", "sendall"}
+)
+
+#: Methods whose mutations are construction, not shared-state access
+#: (happens-before publication of ``self``).
+_CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+@dataclass(frozen=True, order=True)
+class LockId:
+    """Canonical identity of one lock: class scope + attribute/var name."""
+
+    scope: str  # class name, or "" for a module-level lock
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.scope}.{self.name}" if self.scope else self.name
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    lock_id: LockId
+    reentrant: bool
+
+
+@dataclass
+class MutationSite:
+    """One ``self.<attr>`` mutation and the locks held when it runs."""
+
+    scope: str
+    attr: str
+    node: ast.AST
+    held: frozenset[LockId]
+    func: str
+
+
+@dataclass
+class AcquisitionEdge:
+    """Lock ``acquired`` taken while ``held`` was already owned."""
+
+    held: LockId
+    acquired: LockId
+    node: ast.AST
+    func: str
+
+
+@dataclass
+class BlockingCall:
+    call: ast.Call
+    name: str
+    held: frozenset[LockId]
+    func: str
+
+
+@dataclass
+class WaitSite:
+    call: ast.Call
+    lock: LockId
+    in_loop: bool
+    func: str
+
+
+def _lock_constructor(value: ast.AST) -> tuple[str, ast.Call] | None:
+    """Find a ``threading.<Lock-like>(...)`` call inside an RHS expression.
+
+    Looks through wrappers like conditionals (``RLock() if ts else None``)
+    so guarded construction still registers the attribute as a lock.
+    """
+    for node in ast.walk(value):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _call_chain(node)
+        tail = chain[-1]
+        if tail in _LOCK_CONSTRUCTORS and (
+            len(chain) == 1 or chain[0] in ("threading", "*")
+        ):
+            return tail, node
+    return None
+
+
+class _ClassLocks:
+    """Lock attributes of one class, with Condition -> lock aliasing."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.name = cls.name
+        self.locks: dict[str, LockInfo] = {}
+        self.aliases: dict[str, str] = {}
+        self.conditions: set[str] = set()
+        for func in _own_methods(cls):
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                value = stmt.value
+                if value is None:
+                    continue
+                found = _lock_constructor(value)
+                if found is None:
+                    continue
+                ctor, call = found
+                for target in targets:
+                    chain = _attr_chain(target)
+                    if len(chain) != 2 or chain[0] != "self":
+                        continue
+                    attr = chain[1]
+                    if ctor == "Condition":
+                        self.conditions.add(attr)
+                        wrapped = call.args[0] if call.args else None
+                        wchain = _attr_chain(wrapped) if wrapped is not None else ()
+                        if len(wchain) == 2 and wchain[0] == "self":
+                            self.aliases[attr] = wchain[1]
+                            continue
+                    self.locks[attr] = LockInfo(
+                        LockId(self.name, attr), _LOCK_CONSTRUCTORS[ctor]
+                    )
+
+    def canonical(self, attr: str) -> str:
+        seen = set()
+        while attr in self.aliases and attr not in seen:
+            seen.add(attr)
+            attr = self.aliases[attr]
+        return attr
+
+    def resolve(self, attr: str) -> LockId | None:
+        canon = self.canonical(attr)
+        info = self.locks.get(canon)
+        return info.lock_id if info is not None else None
+
+    def is_lockish(self, attr: str) -> bool:
+        return self.resolve(attr) is not None or attr in self.conditions
+
+
+def _own_methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+class _LockSetAnalysis(ForwardAnalysis):
+    """Must-analysis of held locks: state = frozenset[LockId]."""
+
+    def __init__(self, resolve, entry: frozenset[LockId]) -> None:
+        self._resolve = resolve  # Callable[[ast.expr], LockId | None]
+        self._entry = entry
+
+    def entry_state(self) -> frozenset[LockId]:
+        return self._entry
+
+    def join(self, a: frozenset[LockId], b: frozenset[LockId]) -> frozenset[LockId]:
+        return a & b
+
+    def _with_locks(self, node: ast.With | ast.AsyncWith) -> list[LockId]:
+        out = []
+        for item in node.items:
+            lock = self._resolve(item.context_expr)
+            if lock is not None:
+                out.append(lock)
+        return out
+
+    def transfer(
+        self, state: frozenset[LockId], stmt: CfgStatement
+    ) -> frozenset[LockId]:
+        if isinstance(stmt, WithEnter):
+            return state | frozenset(self._with_locks(stmt.node))
+        if isinstance(stmt, WithExit):
+            return state - frozenset(self._with_locks(stmt.node))
+        if isinstance(stmt, (LoopHead, BranchHead)):
+            return state
+        acquired: set[LockId] = set()
+        released: set[LockId] = set()
+        for node in _walk_same_scope([stmt]):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _call_chain(node)
+            if chain[-1] not in ("acquire", "release") or len(chain) < 2:
+                continue
+            lock = self._resolve(node.func.value)  # type: ignore[attr-defined]
+            if lock is None:
+                continue
+            (acquired if chain[-1] == "acquire" else released).add(lock)
+        if acquired or released:
+            return (state - frozenset(released)) | frozenset(acquired)
+        return state
+
+
+class ModuleLockAnalysis:
+    """Run the lock-set analysis over every class and function of a module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.module_locks: dict[str, LockInfo] = {}
+        self.module_conditions: set[str] = set()
+        self.mutations: list[MutationSite] = []
+        self.acquisitions: list[AcquisitionEdge] = []
+        self.blocking: list[BlockingCall] = []
+        self.waits: list[WaitSite] = []
+        self.reentrant: dict[LockId, bool] = {}
+        self._discover_module_locks(tree)
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._analyze_class(stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyze_function(stmt, scope="", cls=None)
+
+    # ------------------------------------------------------------------ #
+    # Discovery
+    # ------------------------------------------------------------------ #
+
+    def _discover_module_locks(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            found = _lock_constructor(value)
+            if found is None:
+                continue
+            ctor, _call = found
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if ctor == "Condition":
+                        self.module_conditions.add(target.id)
+                    info = LockInfo(LockId("", target.id), _LOCK_CONSTRUCTORS[ctor])
+                    self.module_locks[target.id] = info
+
+    # ------------------------------------------------------------------ #
+    # Per-class fixpoint
+    # ------------------------------------------------------------------ #
+
+    def _analyze_class(self, cls: ast.ClassDef) -> None:
+        locks = _ClassLocks(cls)
+        for info in locks.locks.values():
+            self.reentrant[info.lock_id] = info.reentrant
+        methods = {m.name: m for m in _own_methods(cls)}
+        escaped = self._escaped_methods(cls, methods)
+
+        def resolve(expr: ast.expr) -> LockId | None:
+            chain = _attr_chain(expr)
+            if len(chain) == 2 and chain[0] == "self":
+                return locks.resolve(chain[1])
+            if len(chain) == 1:
+                info = self.module_locks.get(chain[0])
+                return info.lock_id if info is not None else None
+            return None
+
+        # Entry lock sets: None = not yet known (top), shrinks monotonely.
+        entries: dict[str, frozenset[LockId] | None] = {}
+        for name in methods:
+            private = name.startswith("_") and not name.startswith("__")
+            entries[name] = None if private and name not in escaped else frozenset()
+
+        cfgs = {name: build_cfg(func) for name, func in methods.items()}
+        for _round in range(len(methods) + 2):
+            call_sites: dict[str, list[frozenset[LockId]]] = {n: [] for n in methods}
+            for name, func in methods.items():
+                entry = entries[name]
+                if entry is None:
+                    continue  # never reached yet; contributes no call sites
+                analysis = _LockSetAnalysis(resolve, entry)
+                in_states = solve(cfgs[name], analysis)
+
+                def visit(stmt: CfgStatement, state: frozenset[LockId]) -> None:
+                    for node in _stmt_calls(stmt):
+                        chain = _call_chain(node)
+                        if (
+                            len(chain) == 2
+                            and chain[0] == "self"
+                            and chain[1] in methods
+                        ):
+                            call_sites[chain[1]].append(state)
+
+                visit_statements(cfgs[name], analysis, in_states, visit)
+            changed = False
+            for name in methods:
+                if entries[name] is not None and not (
+                    name.startswith("_") and not name.startswith("__")
+                ):
+                    continue  # public entry is pinned at no-locks
+                if name in escaped:
+                    continue
+                sites = call_sites[name]
+                if not sites:
+                    new = entries[name] if entries[name] is not None else frozenset()
+                else:
+                    new = sites[0]
+                    for s in sites[1:]:
+                        new = new & s
+                if new != entries[name]:
+                    entries[name] = new
+                    changed = True
+            if not changed:
+                break
+        # Final artifact pass with the converged entry states.
+        for name, func in methods.items():
+            entry = entries[name]
+            self._collect(
+                func,
+                cfgs[name],
+                _LockSetAnalysis(resolve, entry if entry is not None else frozenset()),
+                scope=cls.name,
+                lockish=locks.is_lockish,
+                func_label=f"{cls.name}.{name}",
+            )
+            self._collect_waits(
+                func, cls_locks=locks, func_label=f"{cls.name}.{name}"
+            )
+
+    def _escaped_methods(self, cls: ast.ClassDef, methods: dict) -> set[str]:
+        """Methods referenced bare (``self.M`` without a call) anywhere.
+
+        A bare reference means the method can run on another thread or via
+        a callback with no locks held (``Thread(target=self._loop)``), so
+        its entry state must stay empty.
+        """
+        call_funcs: set[int] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call):
+                call_funcs.add(id(node.func))
+        escaped: set[str] = set()
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Attribute)
+                and id(node) not in call_funcs
+                and node.attr in methods
+            ):
+                chain = _attr_chain(node)
+                if len(chain) == 2 and chain[0] == "self":
+                    escaped.add(node.attr)
+        return escaped
+
+    # ------------------------------------------------------------------ #
+    # Module-level functions
+    # ------------------------------------------------------------------ #
+
+    def _analyze_function(
+        self, func: ast.AST, *, scope: str, cls: ast.ClassDef | None
+    ) -> None:
+        def resolve(expr: ast.expr) -> LockId | None:
+            chain = _attr_chain(expr)
+            if len(chain) == 1:
+                info = self.module_locks.get(chain[0])
+                return info.lock_id if info is not None else None
+            return None
+
+        cfg = build_cfg(func)
+        self._collect(
+            func,
+            cfg,
+            _LockSetAnalysis(resolve, frozenset()),
+            scope=scope,
+            lockish=lambda attr: False,
+            func_label=getattr(func, "name", "<module>"),
+        )
+        self._collect_waits(func, cls_locks=None, func_label=getattr(func, "name", ""))
+
+    # ------------------------------------------------------------------ #
+    # Artifact collection
+    # ------------------------------------------------------------------ #
+
+    def _collect(
+        self,
+        func: ast.AST,
+        cfg: CFG,
+        analysis: _LockSetAnalysis,
+        *,
+        scope: str,
+        lockish,
+        func_label: str,
+    ) -> None:
+        in_construction = getattr(func, "name", "") in _CONSTRUCTORS
+
+        def visit(stmt: CfgStatement, state: frozenset[LockId]) -> None:
+            if isinstance(stmt, WithEnter):
+                held = set(state)
+                for item in stmt.node.items:
+                    lock = analysis._resolve(item.context_expr)
+                    if lock is None:
+                        continue
+                    for h in sorted(held):
+                        self.acquisitions.append(
+                            AcquisitionEdge(h, lock, item.context_expr, func_label)
+                        )
+                    held.add(lock)
+                return
+            if isinstance(stmt, (WithExit, LoopHead, BranchHead)):
+                return
+            if not in_construction:
+                for attr, node in _self_mutations(stmt):
+                    if lockish(attr):
+                        continue
+                    self.mutations.append(
+                        MutationSite(scope, attr, node, state, func_label)
+                    )
+            for call in _stmt_calls(stmt):
+                name = _blocking_name(call)
+                if name is not None and state:
+                    self.blocking.append(BlockingCall(call, name, state, func_label))
+
+        visit_statements(cfg, analysis, solve(cfg, analysis), visit)
+
+    def _collect_waits(
+        self, func: ast.AST, *, cls_locks: _ClassLocks | None, func_label: str
+    ) -> None:
+        def walk(stmts: Iterable[ast.stmt], loop_depth: int) -> None:
+            for stmt in stmts:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                bump = isinstance(stmt, (ast.For, ast.AsyncFor, ast.While))
+                for call in _shallow_calls(stmt):
+                    chain = _call_chain(call)
+                    if chain[-1] != "wait":
+                        continue
+                    lock = self._wait_receiver(chain, cls_locks)
+                    if lock is not None:
+                        self.waits.append(
+                            WaitSite(call, lock, loop_depth > 0, func_label)
+                        )
+                for field_name in ("body", "orelse", "finalbody"):
+                    sub = getattr(stmt, field_name, None)
+                    if sub:
+                        walk(sub, loop_depth + (1 if bump else 0))
+                for handler in getattr(stmt, "handlers", []) or []:
+                    walk(handler.body, loop_depth)
+                for case in getattr(stmt, "cases", []) or []:
+                    walk(case.body, loop_depth)
+
+        walk(getattr(func, "body", []), 0)
+
+    def _wait_receiver(
+        self, chain: tuple[str, ...], cls_locks: _ClassLocks | None
+    ) -> LockId | None:
+        if len(chain) == 3 and chain[0] == "self" and cls_locks is not None:
+            attr = chain[1]
+            if attr in cls_locks.conditions:
+                # Report under the condition's own attribute name -- the
+                # message reads better than the aliased underlying lock.
+                return LockId(cls_locks.name, attr)
+        if len(chain) == 2 and chain[0] in self.module_conditions:
+            info = self.module_locks.get(chain[0])
+            return info.lock_id if info is not None else None
+        return None
+
+
+def _shallow_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call nodes of one statement, not descending into nested bodies."""
+    for node in ast.iter_child_nodes(stmt):
+        if isinstance(node, ast.stmt):
+            continue
+        for sub in _walk_same_scope([node]):
+            if isinstance(sub, ast.Call):
+                yield sub
+
+
+def _stmt_calls(stmt: CfgStatement) -> Iterator[ast.Call]:
+    if isinstance(stmt, (WithEnter, WithExit)):
+        for item in stmt.node.items:
+            for node in _walk_same_scope([item.context_expr]):
+                if isinstance(node, ast.Call):
+                    yield node
+        return
+    if isinstance(stmt, LoopHead):
+        src = stmt.node.iter if isinstance(stmt.node, (ast.For, ast.AsyncFor)) else stmt.node.test
+        for node in _walk_same_scope([src]):
+            if isinstance(node, ast.Call):
+                yield node
+        return
+    if isinstance(stmt, BranchHead):
+        src = stmt.node.test if isinstance(stmt.node, ast.If) else stmt.node.subject
+        for node in _walk_same_scope([src]):
+            if isinstance(node, ast.Call):
+                yield node
+        return
+    for node in _walk_same_scope([stmt]):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _self_mutations(stmt: CfgStatement) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(attr, node)`` for each ``self.<attr>`` mutation in a stmt."""
+    if not isinstance(stmt, ast.stmt):
+        return
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            attr = _mutated_self_attr(target)
+            if attr is not None:
+                yield attr, target
+    if isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            attr = _mutated_self_attr(target)
+            if attr is not None:
+                yield attr, target
+    for call in _stmt_calls(stmt):
+        chain = _call_chain(call)
+        if len(chain) >= 3 and chain[0] == "self" and chain[-1] in _MUTATING_METHODS:
+            yield chain[1], call
+        elif (
+            chain[-1] in ("heappush", "heappop", "heapify", "heapreplace")
+            and call.args
+        ):
+            arg_chain = _attr_chain(call.args[0])
+            if len(arg_chain) >= 2 and arg_chain[0] == "self":
+                yield arg_chain[1], call
+
+
+def _mutated_self_attr(target: ast.AST) -> str | None:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            attr = _mutated_self_attr(elt)
+            if attr is not None:
+                return attr
+        return None
+    while isinstance(target, (ast.Subscript, ast.Starred)):
+        target = target.value
+    chain = _attr_chain(target)
+    if len(chain) >= 2 and chain[0] == "self":
+        return chain[1]
+    return None
+
+
+def _blocking_name(call: ast.Call) -> str | None:
+    chain = _call_chain(call)
+    tail = chain[-1]
+    if tail in _BLOCKING_CALLS:
+        return ".".join(p for p in chain if p != "*")
+    if tail == "open" and len(chain) == 1:
+        return "open"
+    if (
+        len(chain) >= 2
+        and tail in _FILEISH_METHODS
+        and chain[-2] in _FILEISH_RECEIVERS
+    ):
+        return ".".join(p for p in chain if p != "*")
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Checkers
+# --------------------------------------------------------------------- #
+
+
+class _LockCheckerBase(CheckerBase):
+    profile = "concurrency"
+
+    def analysis(self, tree: ast.Module) -> ModuleLockAnalysis:
+        return ModuleLockAnalysis(tree)
+
+
+@register_checker
+class UnguardedSharedStateChecker(_LockCheckerBase):
+    """Flag attributes mutated both under a lock and with no lock held."""
+
+    name = "unguarded-shared-state"
+    description = (
+        "an attribute mutated under a lock somewhere must hold that lock at "
+        "every mutation site; a single unlocked writer races them all"
+    )
+    severity = "error"
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        analysis = self.analysis(tree)
+        grouped: dict[tuple[str, str], list[MutationSite]] = {}
+        for site in analysis.mutations:
+            grouped.setdefault((site.scope, site.attr), []).append(site)
+        for (scope, attr), sites in sorted(grouped.items()):
+            locked = [s for s in sites if s.held]
+            unlocked = [s for s in sites if not s.held]
+            if not locked or not unlocked:
+                continue
+            lock_names = sorted({str(l) for s in locked for l in s.held})
+            guard_lines = sorted({s.node.lineno for s in locked})
+            for site in unlocked:
+                yield self.finding(
+                    path, site.node,
+                    f"self.{attr} is mutated in {site.func} with no lock "
+                    f"held, but is guarded by {', '.join(lock_names)} at "
+                    f"line(s) {', '.join(map(str, guard_lines))}; every "
+                    "mutation must hold the same lock",
+                )
+
+
+@register_checker
+class BlockingCallUnderLockChecker(_LockCheckerBase):
+    """Flag slow/blocking calls made while holding any known lock."""
+
+    name = "blocking-call-under-lock"
+    description = (
+        "detection runs, sleeps and file/socket I/O must not run under a "
+        "lock: every other thread queues behind the slow call"
+    )
+    severity = "warning"
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        analysis = self.analysis(tree)
+        for call in analysis.blocking:
+            locks = ", ".join(str(l) for l in sorted(call.held))
+            yield self.finding(
+                path, call.call,
+                f"{call.func} calls {call.name}() while holding {locks}; "
+                "move the blocking work outside the critical section or "
+                "document why serialization is intended",
+            )
+
+
+@register_checker
+class LockOrderInversionChecker(_LockCheckerBase):
+    """Flag inconsistent lock acquisition order across a module."""
+
+    name = "lock-order-inversion"
+    description = (
+        "two locks acquired in opposite orders on different paths (or a "
+        "non-reentrant lock re-acquired under itself) deadlock under the "
+        "right interleaving"
+    )
+    severity = "error"
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        analysis = self.analysis(tree)
+        edges: dict[tuple[LockId, LockId], AcquisitionEdge] = {}
+        for edge in analysis.acquisitions:
+            edges.setdefault((edge.held, edge.acquired), edge)
+        # Self-edges: re-acquiring a non-reentrant lock is an immediate
+        # deadlock, no second thread required.
+        for (a, b), edge in sorted(edges.items()):
+            if a == b and not analysis.reentrant.get(a, True):
+                yield self.finding(
+                    path, edge.node,
+                    f"{edge.func} re-acquires non-reentrant lock {a} while "
+                    "already holding it: guaranteed self-deadlock (use an "
+                    "RLock or split the critical section)",
+                )
+        graph: dict[LockId, set[LockId]] = {}
+        for (a, b) in edges:
+            if a != b:
+                graph.setdefault(a, set()).add(b)
+        cyclic = _nodes_in_cycles(graph)
+        for (a, b), edge in sorted(edges.items()):
+            if a != b and a in cyclic and b in cyclic and _reaches(graph, b, a):
+                yield self.finding(
+                    path, edge.node,
+                    f"{edge.func} acquires {b} while holding {a}, but "
+                    f"another path acquires them in the opposite order "
+                    f"(acquisition cycle {a} -> {b} -> ... -> {a}); pick "
+                    "one global order",
+                )
+
+
+def _nodes_in_cycles(graph: dict[LockId, set[LockId]]) -> set[LockId]:
+    return {n for n in graph if _reaches(graph, n, n)}
+
+
+def _reaches(graph: dict[LockId, set[LockId]], src: LockId, dst: LockId) -> bool:
+    seen: set[LockId] = set()
+    stack = list(graph.get(src, ()))
+    while stack:
+        node = stack.pop()
+        if node == dst:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph.get(node, ()))
+    return False
+
+
+@register_checker
+class ConditionWaitChecker(_LockCheckerBase):
+    """Flag ``Condition.wait()`` calls not wrapped in a predicate loop."""
+
+    name = "condition-wait-no-loop"
+    description = (
+        "Condition.wait() must sit in a while-loop re-checking its "
+        "predicate: wakeups are spurious and the predicate can be "
+        "falsified before the waiter runs"
+    )
+    severity = "error"
+
+    def check(self, tree: ast.Module, path: str) -> Iterable[Finding]:
+        analysis = self.analysis(tree)
+        for site in analysis.waits:
+            if site.in_loop:
+                continue
+            yield self.finding(
+                path, site.call,
+                f"{site.func} calls wait() on condition {site.lock} outside "
+                "any loop; use `while not <predicate>: cond.wait()` (or "
+                "wait_for) so spurious wakeups re-check",
+            )

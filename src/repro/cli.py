@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -299,7 +300,19 @@ def build_parser() -> argparse.ArgumentParser:
     ben_cells.add_argument("matrix", help="TOML/JSON matrix file")
 
     chk = sub.add_parser(
-        "check", help="lint source files for SPMD superstep-safety hazards"
+        "check",
+        help="lint source files for SPMD superstep-safety and lock hazards",
+        description=(
+            "Static analysis over the repro sources: the spmd profile "
+            "checks superstep-protocol discipline in the parallel kernels, "
+            "the concurrency profile runs the lock-set dataflow checkers "
+            "over threaded code (repro.service, observability sinks)."
+        ),
+        epilog=(
+            "exit codes: 0 = clean (no findings, or all findings "
+            "baselined), 1 = findings, 2 = usage error (bad path, unknown "
+            "checker/profile, unreadable baseline)"
+        ),
     )
     chk.add_argument(
         "paths", nargs="*", default=["src/repro/parallel"],
@@ -307,11 +320,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chk.add_argument(
         "--select", metavar="CHECKER", action="append", default=None,
-        help="run only this checker (repeatable; default: all)",
+        help="run only this checker (repeatable; overrides --profile)",
+    )
+    chk.add_argument(
+        "--profile", choices=["spmd", "concurrency", "all"], default="spmd",
+        help="checker family to run (default: spmd)",
+    )
+    chk.add_argument(
+        "--severity", choices=["error", "warning"], default="warning",
+        help=(
+            "minimum severity to report: 'error' hides warnings, "
+            "'warning' (default) shows everything"
+        ),
+    )
+    chk.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        dest="output_format",
+        help="output format (default: text)",
+    )
+    chk.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=(
+            "subtract known findings recorded in this JSON baseline; only "
+            "new findings fail the run (stale entries are reported)"
+        ),
+    )
+    chk.add_argument(
+        "--write-baseline", metavar="PATH", default=None,
+        help="write the current findings as a baseline JSON file and exit 0",
     )
     chk.add_argument(
         "--list-checkers", action="store_true",
-        help="list registered checkers and exit",
+        help="list registered checkers (with profile/severity) and exit",
+    )
+    chk.add_argument(
+        "--list-suppressions", action="store_true",
+        help="audit every '# lint: allow(...)' comment under the paths",
     )
     return parser
 
@@ -883,25 +927,87 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from .analysis import get_checkers, run_checks
+    from .analysis import (
+        CHECKERS,
+        apply_baseline,
+        findings_to_json,
+        findings_to_sarif,
+        get_checkers,
+        list_suppressions,
+        load_baseline,
+        run_checks,
+    )
 
     if args.list_checkers:
         for checker in get_checkers(None):
-            print(f"{checker.name:<24s} {checker.description}")
+            print(
+                f"{checker.name:<24s} [{checker.profile}/{checker.severity}] "
+                f"{checker.description}"
+            )
+        return 0
+    if args.list_suppressions:
+        try:
+            suppressions = list_suppressions(args.paths)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for sup in suppressions:
+            print(sup.format())
+        print(
+            f"{len(suppressions)} suppression site(s) in {len(args.paths)} "
+            f"path(s)",
+            file=sys.stderr,
+        )
         return 0
     try:
-        findings = run_checks(args.paths, select=args.select)
+        findings = run_checks(args.paths, select=args.select, profile=args.profile)
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.format())
+    if args.severity == "error":
+        findings = [f for f in findings if f.severity == "error"]
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            findings_to_json(findings), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.write_baseline}"
+        )
+        return 0
+    stale: list[dict] = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        findings, stale = apply_baseline(findings, baseline)
+    if args.output_format == "json":
+        sys.stdout.write(findings_to_json(findings))
+    elif args.output_format == "sarif":
+        rules = {name: cls.description for name, cls in CHECKERS.items()}
+        sys.stdout.write(findings_to_sarif(findings, rules))
+    else:
+        for finding in findings:
+            print(finding.format())
+    for entry in stale:
+        print(
+            "stale baseline entry (fixed? regenerate with --write-baseline): "
+            f"{entry.get('path')}: [{entry.get('checker')}] "
+            f"{entry.get('message')}",
+            file=sys.stderr,
+        )
     n_paths = len(args.paths)
     noun = "path" if n_paths == 1 else "paths"
     if findings:
-        print(f"{len(findings)} finding(s) in {n_paths} {noun}", file=sys.stderr)
+        qualifier = " new" if args.baseline else ""
+        print(
+            f"{len(findings)}{qualifier} finding(s) in {n_paths} {noun}",
+            file=sys.stderr,
+        )
         return 1
-    print(f"clean: no findings in {n_paths} {noun}")
+    if args.output_format == "text":
+        print(f"clean: no findings in {n_paths} {noun}")
     return 0
 
 

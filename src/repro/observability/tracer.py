@@ -19,6 +19,7 @@ disabled cost is one attribute read -- the overhead budget
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable
@@ -39,6 +40,16 @@ class Tracer:
     growing, so a sink-backed tracer holds O(1) events regardless of run
     length.  ``buffer=False`` without a sink is rejected -- the events would
     be lost entirely.
+
+    ``threadsafe=True`` guards the seq/events/counters mutations with an
+    RLock so many threads may emit into one tracer (the detection service
+    shares one across its worker pool; ``counters.get + store`` is a
+    read-modify-write that drops increments when two workers interleave).
+    It does **not** make the span stack multi-thread-aware -- spans are a
+    per-thread nesting concept; give each thread its own tracer for spans
+    (the worker pool does exactly that with per-job tracers).  The default
+    stays lock-free: single-threaded detection runs sit on the hot path of
+    the <5% disabled-overhead budget.
     """
 
     enabled: bool = True
@@ -49,6 +60,7 @@ class Tracer:
         clock: Callable[[], float] | None = None,
         sink: "TraceSink | None" = None,
         buffer: bool = True,
+        threadsafe: bool = False,
     ) -> None:
         if sink is None and not buffer:
             raise ValueError("buffer=False requires a sink (events would be dropped)")
@@ -56,6 +68,7 @@ class Tracer:
         self.counters: dict[str, float] = {}
         self.sink = sink
         self._buffer = bool(buffer)
+        self._lock = threading.RLock() if threadsafe else None
         self._clock = clock if clock is not None else time.perf_counter
         self._t0 = self._clock()
         self._seq = 0
@@ -78,6 +91,14 @@ class Tracer:
         **data: Any,
     ) -> TraceEvent | None:
         """Append one event; returns it (mainly for tests, None when no-op)."""
+        if self._lock is not None:
+            with self._lock:
+                return self._emit(kind, name, rank, data)
+        return self._emit(kind, name, rank, data)
+
+    def _emit(
+        self, kind: str, name: str, rank: int | None, data: dict[str, Any]
+    ) -> TraceEvent:
         ev = TraceEvent(
             seq=self._seq, ts=self._now(), kind=kind, name=name,
             rank=rank, data=data,
@@ -138,9 +159,22 @@ class Tracer:
     # -------------------------------------------------------------- #
 
     def add_counter(self, name: str, value: float, **labels: Any) -> None:
-        """Increment a cumulative counter and log the increment."""
+        """Increment a cumulative counter and log the increment.
+
+        The read-modify-write on ``counters`` and its matching event emit
+        land under one lock acquisition when the tracer is ``threadsafe``,
+        so concurrent increments neither lose updates nor interleave a
+        counter value with someone else's event.
+        """
+        if self._lock is not None:
+            with self._lock:
+                self._add_counter(name, value, labels)
+        else:
+            self._add_counter(name, value, labels)
+
+    def _add_counter(self, name: str, value: float, labels: dict[str, Any]) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + float(value)
-        self.emit(EventKind.COUNTER, name, value=float(value), **labels)
+        self._emit(EventKind.COUNTER, name, None, {"value": float(value), **labels})
 
     # -------------------------------------------------------------- #
     # Typed events (the run/level/iteration vocabulary)
@@ -246,6 +280,7 @@ class NullTracer(Tracer):
         self.counters = {}
         self.sink = None
         self._buffer = True
+        self._lock = None
         self._seq = 0
         self._span_stack = []
 

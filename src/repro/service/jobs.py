@@ -294,6 +294,36 @@ class JobQueue:
                     wait = remaining if wait is None else min(wait, remaining)
                 self._not_empty.wait(wait)
 
+    def finalize(
+        self,
+        job: Job,
+        state: str,
+        *,
+        result: dict[str, Any] | None = None,
+        error: str | None = None,
+    ) -> bool:
+        """Move a RUNNING job to a terminal state (worker side).
+
+        All terminal transitions funnel through the queue lock so a worker
+        finishing a job cannot race :meth:`cancel` or :meth:`close`
+        rewriting the same ``state``/``error``/``finished_at`` fields.  A
+        job that already reached a terminal state (cancelled during
+        shutdown, say) is left untouched; returns whether the transition
+        was applied.
+        """
+        if state not in JobState.TERMINAL:
+            raise ValueError(f"finalize requires a terminal state, got {state!r}")
+        with self._lock:
+            if job.done:
+                return False
+            job.state = state
+            if result is not None:
+                job.result = result
+            if error is not None:
+                job.error = error
+            job.finished_at = time.time()
+            return True
+
     # -------------------------------------------------------------- #
     # Introspection / shutdown
     # -------------------------------------------------------------- #

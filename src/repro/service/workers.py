@@ -125,7 +125,12 @@ class WorkerPool:
         self.queue = queue
         self.runner = runner
         self.num_workers = int(num_workers)
-        self.tracer = tracer if tracer is not None else Tracer(sink=NullSink(), buffer=False)
+        # Shared across N workers' counter increments: must be threadsafe.
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(sink=NullSink(), buffer=False, threadsafe=True)
+        )
         self.shared_sink = shared_sink
         self.monitor_interval = monitor_interval
         self._running: dict[str, Job] = {}
@@ -209,21 +214,22 @@ class WorkerPool:
             ctx.check_cancelled()  # cancel may have landed while claimed
             result = self.runner(job, ctx)
             ctx.check_cancelled()  # cancel mid-run: discard the result
-            job.result = result
-            job.state = JobState.DONE
-            job.finished_at = time.time()
+            self.queue.finalize(job, JobState.DONE, result=result)
             self.tracer.add_counter("service_jobs_completed", 1)
             self._end_span(job_tracer, job)
         except JobCancelled as exc:
             if exc.reason == "timeout":
-                job.state = JobState.FAILED
-                job.error = f"timed out after {job.timeout:g}s"
+                self.queue.finalize(
+                    job, JobState.FAILED,
+                    error=f"timed out after {job.timeout:g}s",
+                )
                 self.tracer.add_counter("service_jobs_timeout", 1)
             else:
-                job.state = JobState.CANCELLED
-                job.error = job.error or "cancelled while running"
+                self.queue.finalize(
+                    job, JobState.CANCELLED,
+                    error=job.error or "cancelled while running",
+                )
                 self.tracer.add_counter("service_jobs_cancelled", 1)
-            job.finished_at = time.time()
             self._end_span(job_tracer, job)
         except TransientJobError as exc:
             self._end_span(job_tracer, job, error=str(exc))
@@ -233,16 +239,16 @@ class WorkerPool:
                 self.tracer.add_counter("service_jobs_retried", 1)
                 self.queue.requeue(job, delay=delay)
             else:
-                job.state = JobState.FAILED
-                job.error = (
-                    f"failed after {job.attempts} attempt(s); last error: {exc}"
+                self.queue.finalize(
+                    job, JobState.FAILED,
+                    error=f"failed after {job.attempts} attempt(s); "
+                    f"last error: {exc}",
                 )
-                job.finished_at = time.time()
                 self.tracer.add_counter("service_jobs_failed", 1)
         except Exception as exc:  # permanent failure: no retry
-            job.state = JobState.FAILED
-            job.error = f"{type(exc).__name__}: {exc}"
-            job.finished_at = time.time()
+            self.queue.finalize(
+                job, JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
             self.tracer.add_counter("service_jobs_failed", 1)
             self._end_span(job_tracer, job)
         finally:
@@ -298,9 +304,11 @@ class DetectionService:
         self.default_timeout = default_timeout
         self.default_max_retries = int(default_max_retries)
         self._shared_sink = _LockedSink(sink) if sink is not None else None
+        # Workers and submitters all bump counters on this one tracer.
         self.tracer = Tracer(
             sink=self._shared_sink if self._shared_sink is not None else NullSink(),
             buffer=False,
+            threadsafe=True,
         )
         #: Updates serialize here so concurrent batches chain versions
         #: deterministically instead of both warm-starting from one base.
@@ -442,7 +450,9 @@ class DetectionService:
                 num_ranks=options.pop("num_ranks", self.num_ranks), **options
             )
             ctx.check_cancelled()
-            new_graph, result = incremental_louvain(
+            # Serializing the warm start under _update_lock is the whole
+            # point: concurrent batches must chain, not race one base.
+            new_graph, result = incremental_louvain(  # lint: allow(blocking-call-under-lock)
                 base.graph, job.payload["batch"], base.membership,
                 config, tracer=ctx.tracer,
             )

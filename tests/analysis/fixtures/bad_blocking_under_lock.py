@@ -1,0 +1,25 @@
+"""Known-bad service: slow detection and I/O run inside critical sections."""
+
+import threading
+import time
+
+
+class SlowService:
+    def __init__(self, engine):
+        self._lock = threading.Lock()
+        self._results = {}
+        self._engine = engine
+
+    def refresh(self, graph):
+        with self._lock:
+            # BAD: a full detection run while every reader queues on _lock.
+            summary = self._engine.detect_communities(graph)
+            self._results["latest"] = summary
+
+    def throttle(self):
+        with self._lock:
+            time.sleep(0.5)  # BAD: sleeping under the lock
+
+    def dump(self, fh):
+        with self._lock:
+            fh.write(repr(self._results))  # BAD: file I/O under the lock

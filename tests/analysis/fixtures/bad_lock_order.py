@@ -1,0 +1,23 @@
+"""Known-bad pair of code paths taking two locks in opposite orders."""
+
+import threading
+
+
+class TwoQueues:
+    def __init__(self):
+        self._in_lock = threading.Lock()
+        self._out_lock = threading.Lock()
+        self._inbox = []
+        self._outbox = []
+
+    def forward(self):
+        with self._in_lock:
+            with self._out_lock:
+                self._outbox.append(self._inbox.pop())
+
+    def bounce(self):
+        # BAD: opposite order -- forward() holds in_lock wanting out_lock
+        # while bounce() holds out_lock wanting in_lock: deadlock.
+        with self._out_lock:
+            with self._in_lock:
+                self._inbox.append(self._outbox.pop())

@@ -1,0 +1,20 @@
+"""Known-bad kernel: Out_Table-derived values read after the exchange."""
+
+
+def stale_sigma(st, bus, rank):
+    entries = st.tables.out_entries()
+    inbox = bus.exchange(rank, entries)
+    # BAD: `entries` predates the exchange; peers have already applied
+    # their moves, so every weight in it is one superstep stale.
+    total = sum(w for _, _, w in entries)
+    return total, inbox
+
+
+def stale_through_buffer(st, bus, rank, targets):
+    requests = {}
+    for dst in targets:
+        requests.setdefault(dst, []).append(st.tables.lookup_tot(dst))
+    bus.barrier()
+    # BAD: requests carries pre-barrier lookup_tot values across the
+    # superstep boundary without flowing through the collective.
+    return [v for vs in requests.values() for v in vs]

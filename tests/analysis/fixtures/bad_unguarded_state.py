@@ -1,0 +1,24 @@
+"""Known-bad store: one mutation site skips the lock the others hold."""
+
+import threading
+
+
+class LeakyStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._count = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._count += 1
+
+    def evict(self, key):
+        # BAD: mutates _items and _count with no lock held, racing put().
+        self._items.pop(key, None)
+        self._count -= 1
+
+    def size(self):
+        with self._lock:
+            return self._count

@@ -1,0 +1,23 @@
+"""Known-bad waiter: Condition.wait guarded by `if`, not a `while` loop."""
+
+import threading
+
+
+class OneShotQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items = []
+
+    def put(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._ready.notify()
+
+    def take(self):
+        with self._ready:
+            if not self._items:
+                # BAD: a spurious wakeup (or a faster consumer) leaves
+                # _items empty and the pop below raises.
+                self._ready.wait()
+            return self._items.pop(0)

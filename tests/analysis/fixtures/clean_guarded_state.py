@@ -1,0 +1,36 @@
+"""Clean store: every mutation holds the lock, including through helpers.
+
+Exercises the analyzer's private-helper propagation (``_evict_oldest`` is
+only ever called under ``self._lock``, so its lock-free mutations are
+fine), Condition-aliasing (``self._not_empty`` wraps ``self._lock``), and
+constructor exemption (``__init__`` publishes before any sharing).
+"""
+
+import threading
+
+
+class GuardedStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._items = {}
+        self._order = []
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._order.append(key)
+            if len(self._order) > 8:
+                self._evict_oldest()
+            self._not_empty.notify()
+
+    def pop_any(self):
+        # Acquiring the aliased condition holds the same underlying lock.
+        with self._not_empty:
+            while not self._order:
+                self._not_empty.wait()
+            return self._evict_oldest()
+
+    def _evict_oldest(self):
+        key = self._order.pop(0)
+        return self._items.pop(key)

@@ -1,0 +1,32 @@
+"""Clean two-lock class: every path takes the locks in one global order.
+
+Also exercises the re-entrancy rule: re-acquiring an RLock under itself is
+fine and must not be reported as a self-deadlock.
+"""
+
+import threading
+
+
+class OrderedQueues:
+    def __init__(self):
+        self._in_lock = threading.Lock()
+        self._out_lock = threading.Lock()
+        self._state_lock = threading.RLock()
+        self._inbox = []
+        self._outbox = []
+        self._stats = {}
+
+    def forward(self):
+        with self._in_lock:
+            with self._out_lock:
+                self._outbox.append(self._inbox.pop())
+
+    def bounce(self):
+        with self._in_lock:
+            with self._out_lock:
+                self._inbox.append(self._outbox.pop())
+
+    def bump(self, key):
+        with self._state_lock:
+            with self._state_lock:  # re-entrant: allowed
+                self._stats[key] = self._stats.get(key, 0) + 1

@@ -1,0 +1,19 @@
+"""Clean kernel: pre-boundary values are consumed before the exchange,
+and post-boundary reads use only the collective's result."""
+
+
+def fresh_sigma(st, bus, rank):
+    entries = st.tables.out_entries()
+    local = sum(w for _, _, w in entries)  # consumed pre-exchange: fine
+    inbox = bus.exchange(rank, entries)
+    remote = sum(w for _, _, w in inbox)  # the sanctioned crossing
+    return local + remote
+
+
+def rebuilt_each_superstep(st, bus, rank, steps):
+    totals = []
+    for _ in range(steps):
+        entries = st.tables.out_entries()  # rebuilt after every boundary
+        inbox = bus.exchange(rank, entries)
+        totals.append(len(inbox))
+    return totals

@@ -1,0 +1,21 @@
+"""Clean waiter: the predicate is re-checked in a while loop around wait."""
+
+import threading
+
+
+class PredicateQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items = []
+
+    def put(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._ready.notify()
+
+    def take(self):
+        with self._ready:
+            while not self._items:
+                self._ready.wait()
+            return self._items.pop(0)

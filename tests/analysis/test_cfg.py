@@ -1,0 +1,256 @@
+"""Tests for the CFG builder and the forward-dataflow fixpoint engine."""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import (
+    BranchHead,
+    LoopHead,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    function_cfgs,
+)
+from repro.analysis.dataflow import (
+    FixpointDiverged,
+    ForwardAnalysis,
+    solve,
+    visit_statements,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    return build_cfg(func)
+
+
+def edges(cfg):
+    return {(b.id, s) for b in cfg.blocks.values() for s in b.succs}
+
+
+def reachable(cfg):
+    seen, stack = set(), [cfg.entry]
+    while stack:
+        b = stack.pop()
+        if b in seen:
+            continue
+        seen.add(b)
+        stack.extend(cfg.block(b).succs)
+    return seen
+
+
+class TestCfgShapes:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n    return a + b\n")
+        assert cfg.exit in reachable(cfg)
+        # entry block holds all three statements, then edges to exit
+        stmts = cfg.block(cfg.entry).stmts
+        assert len(stmts) == 3
+
+    def test_if_else_diamond(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        heads = [s for s in cfg.statements() if isinstance(s, BranchHead)]
+        assert len(heads) == 1
+        # the branch block has two successors (then / else)
+        branch_block = next(
+            b for b in cfg.blocks.values()
+            if any(isinstance(s, BranchHead) for s in b.stmts)
+        )
+        assert len(branch_block.succs) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("def f(x):\n    if x:\n        x = 1\n    return x\n")
+        branch_block = next(
+            b for b in cfg.blocks.values()
+            if any(isinstance(s, BranchHead) for s in b.stmts)
+        )
+        assert len(branch_block.succs) == 2  # then-branch and skip edge
+
+    def test_while_loop_has_back_edge(self):
+        cfg = cfg_of("def f(n):\n    while n:\n        n -= 1\n    return n\n")
+        head_block = next(
+            b for b in cfg.blocks.values()
+            if any(isinstance(s, LoopHead) for s in b.stmts)
+        )
+        # some reachable block loops back to the head
+        assert any((b, head_block.id) in edges(cfg) for b in reachable(cfg))
+
+    def test_break_exits_loop_continue_reenters(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "        continue\n"
+            "    return 0\n"
+        )
+        assert cfg.exit in reachable(cfg)
+
+    def test_with_brackets_body(self):
+        cfg = cfg_of("def f(lock):\n    with lock:\n        x = 1\n    return x\n")
+        kinds = [type(s).__name__ for s in cfg.statements()]
+        assert kinds.count("WithEnter") == 1
+        assert kinds.count("WithExit") == 1
+        enters = [i for i, s in enumerate(cfg.statements()) if isinstance(s, WithEnter)]
+        exits = [i for i, s in enumerate(cfg.statements()) if isinstance(s, WithExit)]
+        assert enters[0] < exits[0]
+
+    def test_with_return_inside_has_no_normal_exit_marker(self):
+        cfg = cfg_of("def f(lock):\n    with lock:\n        return 1\n")
+        assert not any(isinstance(s, WithExit) for s in cfg.statements())
+
+    def test_try_body_edges_reach_handler(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = risky()\n"
+            "        b = riskier()\n"
+            "    except ValueError:\n"
+            "        b = None\n"
+            "    return b\n"
+        )
+        # handler must be reachable (any body statement may raise)
+        assert cfg.exit in reachable(cfg)
+        # both the clean path and the handler path merge before return:
+        # the block holding `return` has >= 2 predecessors
+        ret_block = next(
+            b for b in cfg.blocks.values()
+            if any(isinstance(s, ast.Return) for s in b.stmts)
+        )
+        assert len(ret_block.preds) >= 2
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of("def f():\n    return 1\n    x = 2\n")
+        unreachable = set(cfg.blocks) - reachable(cfg)
+        dead = [
+            s for b in unreachable for s in cfg.block(b).stmts
+            if isinstance(s, ast.Assign)
+        ]
+        assert len(dead) == 1  # the x = 2 still has a block, just no edges
+
+    def test_function_cfgs_covers_nested_defs(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+        )
+        names = [getattr(f, "name", "?") for f, _ in function_cfgs(tree)]
+        assert sorted(names) == ["inner", "outer"]
+
+    def test_non_body_node_rejected(self):
+        with pytest.raises(TypeError):
+            build_cfg(ast.parse("x = 1").body[0].targets[0])
+
+
+class _ReachingConstants(ForwardAnalysis):
+    """Tiny client: var -> constant int, TOP join drops to None."""
+
+    def entry_state(self):
+        return {}
+
+    def join(self, a, b):
+        out = {}
+        for k in set(a) | set(b):
+            if a.get(k, object()) == b.get(k, object()):
+                out[k] = a[k]
+        return out
+
+    def transfer(self, state, stmt):
+        if (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+        ):
+            new = dict(state)
+            new[stmt.targets[0].id] = stmt.value.value
+            return new
+        return state
+
+
+class _Diverging(ForwardAnalysis):
+    """Deliberately non-monotone: state grows forever."""
+
+    def entry_state(self):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b) + 1
+
+    def transfer(self, state, stmt):
+        return state + 1
+
+    def equals(self, a, b):
+        return False  # never converges
+
+
+class TestFixpoint:
+    def test_converges_on_branch_join(self):
+        cfg = cfg_of(
+            "def f(p):\n"
+            "    x = 1\n"
+            "    if p:\n"
+            "        y = 2\n"
+            "    else:\n"
+            "        y = 3\n"
+            "    z = 4\n"
+        )
+        states = solve(cfg, _ReachingConstants())
+        # at the block containing z = 4, x survives the join but y differs
+        z_block = next(
+            b for b in cfg.blocks.values()
+            if any(
+                isinstance(s, ast.Assign)
+                and isinstance(s.targets[0], ast.Name)
+                and s.targets[0].id == "z"
+                for s in b.stmts
+            )
+        )
+        assert states[z_block.id]["x"] == 1
+        assert "y" not in states[z_block.id]
+
+    def test_converges_with_loop_back_edge(self):
+        cfg = cfg_of(
+            "def f(n):\n"
+            "    x = 1\n"
+            "    while n:\n"
+            "        x = 1\n"
+            "    return x\n"
+        )
+        states = solve(cfg, _ReachingConstants())
+        assert all(
+            s is None or s.get("x") == 1
+            for bid, s in states.items()
+            if bid != cfg.entry
+        )
+
+    def test_unreachable_blocks_stay_none(self):
+        cfg = cfg_of("def f():\n    return 1\n    x = 2\n")
+        states = solve(cfg, _ReachingConstants())
+        unreachable = set(cfg.blocks) - reachable(cfg)
+        assert unreachable and all(states[b] is None for b in unreachable)
+
+    def test_divergence_is_detected_not_infinite(self):
+        cfg = cfg_of("def f(n):\n    while n:\n        n -= 1\n")
+        with pytest.raises(FixpointDiverged):
+            solve(cfg, _Diverging())
+
+    def test_visit_statements_replays_in_state(self):
+        cfg = cfg_of("def f():\n    x = 1\n    y = 2\n")
+        analysis = _ReachingConstants()
+        states = solve(cfg, analysis)
+        seen = []
+        visit_statements(
+            cfg, analysis, states, lambda stmt, st: seen.append(dict(st))
+        )
+        assert seen[0] == {}  # before x = 1
+        assert seen[1] == {"x": 1}  # before y = 2

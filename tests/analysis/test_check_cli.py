@@ -76,6 +76,158 @@ class TestCheckCommand:
         assert "MessageBus" in out  # descriptions are shown
 
 
+class TestCheckProfiles:
+    def test_default_profile_is_spmd(self):
+        args = build_parser().parse_args(["check"])
+        assert args.profile == "spmd"
+
+    def test_concurrency_profile_skips_spmd_checkers(self, capsys):
+        rc = main([
+            "check", str(FIXTURES), "--profile", "concurrency",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "unguarded-shared-state" in out
+        assert "lock-order-inversion" in out
+        assert "spmd-cross-rank" not in out
+
+    def test_all_profile_unions_both(self, capsys):
+        rc = main(["check", str(FIXTURES), "--profile", "all"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "spmd-cross-rank" in out
+        assert "unguarded-shared-state" in out
+
+    def test_severity_error_hides_warnings(self, capsys):
+        rc = main([
+            "check", str(FIXTURES / "bad_blocking_under_lock.py"),
+            "--profile", "concurrency", "--severity", "error",
+        ])
+        # the only findings there are warnings, so filtered run is clean
+        assert rc == 0
+        rc = main([
+            "check", str(FIXTURES / "bad_blocking_under_lock.py"),
+            "--profile", "concurrency",
+        ])
+        assert rc == 1
+        assert "warning" in capsys.readouterr().out
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "2 = usage error" in out
+
+
+class TestCheckOutputFormats:
+    def test_json_format_parses(self, capsys):
+        import json
+
+        rc = main([
+            "check", str(FIXTURES / "bad_out_table.py"), "--format", "json",
+        ])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"][0]["checker"] == "out-table-reuse"
+        assert doc["findings"][0]["line"] == 9
+
+    def test_json_clean_run_emits_empty_list(self, capsys):
+        import json
+
+        rc = main(["check", str(PARALLEL_SRC), "--format", "json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out) == {"findings": []}
+
+    def test_sarif_format_parses(self, capsys):
+        import json
+
+        rc = main([
+            "check", str(FIXTURES / "bad_out_table.py"), "--format", "sarif",
+        ])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results[0]["ruleId"] == "out-table-reuse"
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply_baseline_round_trips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main([
+            "check", str(FIXTURES / "bad_out_table.py"),
+            "--write-baseline", str(baseline),
+        ])
+        assert rc == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        rc = main([
+            "check", str(FIXTURES / "bad_out_table.py"),
+            "--baseline", str(baseline),
+        ])
+        assert rc == 0  # the one finding is baselined away
+
+    def test_new_finding_escapes_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main([
+            "check", str(FIXTURES / "bad_out_table.py"),
+            "--write-baseline", str(baseline),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "check", str(FIXTURES), "--baseline", str(baseline),
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "bad_cross_rank.py" in out  # not baselined: still reported
+        assert "bad_out_table.py:9:" not in out  # baselined: suppressed
+
+    def test_stale_baseline_entries_noted(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main([
+            "check", str(FIXTURES / "bad_out_table.py"),
+            "--write-baseline", str(baseline),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "check", str(FIXTURES / "clean_kernel.py"),
+            "--baseline", str(baseline),
+        ])
+        assert rc == 0
+        assert "stale" in capsys.readouterr().err
+
+
+class TestListSuppressions:
+    def test_audit_lists_inline_allows(self, capsys):
+        src = Path(__file__).parents[2] / "src" / "repro"
+        rc = main(["check", str(src), "--list-suppressions"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workers.py" in out
+        assert "blocking-call-under-lock" in out
+
+    def test_unknown_checker_in_allow_warned(self, tmp_path, capsys):
+        bad = tmp_path / "s.py"
+        bad.write_text("x = 1  # lint: allow(made-up-rule)\n")
+        rc = main(["check", str(bad), "--list-suppressions"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "made-up-rule" in out
+        assert "WARNING" in out
+
+    def test_no_suppressions_summary(self, tmp_path, capsys):
+        clean = tmp_path / "c.py"
+        clean.write_text("x = 1\n")
+        rc = main(["check", str(clean), "--list-suppressions"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 suppression site(s)" in captured.err
+
+
 class TestDetectSanitize:
     def test_parallel_with_sanitize(self, edge_file, capsys):
         rc = main([

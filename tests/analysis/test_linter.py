@@ -109,12 +109,32 @@ class TestFixturesFire:
         assert len(found) == len(set(found))
 
 
+class TestStaleReadFixtures:
+    def test_bad_stale_read_fires(self):
+        found = findings_for("bad_stale_read.py", ["spmd-stale-read"])
+        assert [f.line for f in found] == [9, 20]
+        assert all(f.checker == "spmd-stale-read" for f in found)
+
+    def test_clean_stale_read_silent(self):
+        assert findings_for("clean_stale_read.py", ["spmd-stale-read"]) == []
+
+
 class TestShippedCodeClean:
     def test_parallel_package_clean(self):
         assert run_checks([SRC / "parallel"]) == []
 
-    def test_whole_src_tree_clean(self):
-        assert run_checks([SRC]) == []
+    def test_whole_src_tree_clean_under_spmd_profile(self):
+        assert run_checks([SRC], profile="spmd") == []
+
+    def test_whole_src_tree_clean_modulo_baseline(self):
+        """profile=all findings on src/ must all be in the checked-in baseline."""
+        from repro.analysis import apply_baseline, load_baseline
+
+        baseline = load_baseline(
+            Path(__file__).parents[2] / "benchmarks" / "check_baseline.json"
+        )
+        new, _stale = apply_baseline(run_checks([SRC], profile="all"), baseline)
+        assert new == []
 
 
 class TestDriver:
@@ -141,7 +161,7 @@ class TestDriver:
     def test_run_checks_sorts_across_files(self):
         found = run_checks([FIXTURES])
         assert found == sorted(found)
-        assert len(found) == 11
+        assert len(found) == 21  # every bad fixture fires, no clean one does
 
     def test_select_filters_run_checks(self):
         found = run_checks([FIXTURES], select=["out-table-reuse"])
@@ -153,7 +173,14 @@ class TestFinding:
         f = Finding(
             path="a.py", line=3, col=7, checker="x", message="boom"
         )
-        assert f.format() == "a.py:3:7: [x] boom"
+        assert f.format() == "a.py:3:7: error: [x] boom"
+
+    def test_format_carries_severity(self):
+        f = Finding(
+            path="a.py", line=3, col=7, checker="x", message="boom",
+            severity="warning",
+        )
+        assert f.format() == "a.py:3:7: warning: [x] boom"
 
     def test_to_dict_roundtrip(self):
         f = Finding(path="a.py", line=1, col=1, checker="c", message="m")

@@ -1,0 +1,254 @@
+"""Tests for the lock-set analysis and the concurrency checker family."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis import check_file, get_checkers
+from repro.analysis.locks import LockId, ModuleLockAnalysis
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CONCURRENCY = [
+    "unguarded-shared-state",
+    "blocking-call-under-lock",
+    "lock-order-inversion",
+    "condition-wait-no-loop",
+]
+
+
+def analyze(source):
+    return ModuleLockAnalysis(ast.parse(source))
+
+
+def findings_for(name, select=CONCURRENCY):
+    return check_file(FIXTURES / name, get_checkers(select))
+
+
+class TestLockDiscovery:
+    def test_class_lock_attributes_found(self):
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._rlock = threading.RLock()\n"
+            "    def m(self):\n"
+            "        with self._lock:\n"
+            "            self._x = 1\n"
+        )
+        assert a.reentrant[LockId("C", "_lock")] is False
+        assert a.reentrant[LockId("C", "_rlock")] is True
+
+    def test_condition_aliases_wrapped_lock(self):
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cv = threading.Condition(self._lock)\n"
+            "        self._x = 0\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            self._x = 1\n"
+            "    def b(self):\n"
+            "        with self._cv:\n"
+            "            self._x = 2\n"
+        )
+        # both mutations resolve to the same lock: no unguarded split
+        held = {m.attr: m.held for m in a.mutations}
+        assert held["_x"] == frozenset({LockId("C", "_lock")})
+        assert all(m.held for m in a.mutations)
+
+    def test_guarded_constructor_still_registers_lock(self):
+        # the Tracer pattern: RLock() if threadsafe else None
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self, ts):\n"
+            "        self._lock = threading.RLock() if ts else None\n"
+        )
+        assert LockId("C", "_lock") in a.reentrant
+
+
+class TestHeldSets:
+    def test_mutation_under_with_holds_lock(self):
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def m(self):\n"
+            "        with self._lock:\n"
+            "            self._x = 1\n"
+            "        self._y = 2\n"
+        )
+        held = {m.attr: m.held for m in a.mutations}
+        assert held["_x"] == frozenset({LockId("C", "_lock")})
+        assert held["_y"] == frozenset()
+
+    def test_must_analysis_joins_by_intersection(self):
+        # lock held on only one branch into the mutation: NOT held
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def m(self, p):\n"
+            "        if p:\n"
+            "            self._lock.acquire()\n"
+            "        self._x = 1\n"
+        )
+        held = {m.attr: m.held for m in a.mutations}
+        assert held["_x"] == frozenset()
+
+    def test_acquire_release_calls_tracked(self):
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def m(self):\n"
+            "        self._lock.acquire()\n"
+            "        self._x = 1\n"
+            "        self._lock.release()\n"
+            "        self._y = 2\n"
+        )
+        held = {m.attr: m.held for m in a.mutations}
+        assert held["_x"] == frozenset({LockId("C", "_lock")})
+        assert held["_y"] == frozenset()
+
+    def test_init_mutations_exempt(self):
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._x = 0\n"
+        )
+        assert a.mutations == []
+
+
+class TestHelperPropagation:
+    SRC = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def public(self):\n"
+        "        with self._lock:\n"
+        "            self._helper()\n"
+        "    def _helper(self):\n"
+        "        self._x = 1\n"
+    )
+
+    def test_private_helper_inherits_callsite_locks(self):
+        a = analyze(self.SRC)
+        held = {m.attr: m.held for m in a.mutations}
+        assert held["_x"] == frozenset({LockId("C", "_lock")})
+
+    def test_escaped_helper_gets_no_entry_locks(self):
+        # same class, but _helper is also handed to a Thread as a target:
+        # it may run with no locks held, so the propagation must not apply.
+        src = self.SRC + (
+            "    def start(self):\n"
+            "        threading.Thread(target=self._helper).start()\n"
+        )
+        a = analyze(src)
+        held = {m.attr: m.held for m in a.mutations}
+        assert held["_x"] == frozenset()
+
+    def test_chained_helpers_converge(self):
+        a = analyze(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def public(self):\n"
+            "        with self._lock:\n"
+            "            self._mid()\n"
+            "    def _mid(self):\n"
+            "        self._leaf()\n"
+            "    def _leaf(self):\n"
+            "        self._x = 1\n"
+        )
+        held = {m.attr: m.held for m in a.mutations}
+        assert held["_x"] == frozenset({LockId("C", "_lock")})
+
+
+class TestFixturePairs:
+    def test_bad_unguarded_state_fires(self):
+        found = findings_for("bad_unguarded_state.py")
+        assert {f.checker for f in found} == {"unguarded-shared-state"}
+        assert {f.line for f in found} == {19, 20}
+
+    def test_clean_guarded_state_silent(self):
+        assert findings_for("clean_guarded_state.py") == []
+
+    def test_bad_lock_order_fires(self):
+        found = findings_for("bad_lock_order.py")
+        assert {f.checker for f in found} == {"lock-order-inversion"}
+        assert len(found) == 2  # both directions of the cycle reported
+
+    def test_clean_lock_order_silent(self):
+        # includes a re-entrant RLock self-acquisition that must NOT fire
+        assert findings_for("clean_lock_order.py") == []
+
+    def test_bad_blocking_under_lock_fires(self):
+        found = findings_for("bad_blocking_under_lock.py")
+        assert {f.checker for f in found} == {"blocking-call-under-lock"}
+        assert all(f.severity == "warning" for f in found)
+        assert len(found) == 3  # detect run, sleep, file write
+
+    def test_bad_wait_no_loop_fires(self):
+        found = findings_for("bad_wait_no_loop.py")
+        assert {f.checker for f in found} == {"condition-wait-no-loop"}
+        assert len(found) == 1
+
+    def test_clean_wait_loop_silent(self):
+        assert findings_for("clean_wait_loop.py") == []
+
+    def test_spmd_fixtures_silent_under_concurrency_profile(self):
+        for name in ("bad_out_table.py", "bad_cross_rank.py", "clean_kernel.py"):
+            assert findings_for(name) == []
+
+
+class TestSelfDeadlock:
+    def test_nonreentrant_self_acquisition_flagged(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def m(self):\n"
+            "        with self._lock:\n"
+            "            with self._lock:\n"
+            "                pass\n"
+        )
+        import tempfile
+
+        with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as fh:
+            fh.write(src)
+            path = fh.name
+        found = check_file(path, get_checkers(["lock-order-inversion"]))
+        assert len(found) == 1
+        assert "self-deadlock" in found[0].message
+
+
+class TestModuleLevelLocks:
+    def test_module_lock_order_inversion_detected(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text(
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n"
+            "def f():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n"
+            "def g():\n"
+            "    with B:\n"
+            "        with A:\n"
+            "            pass\n"
+        )
+        found = check_file(bad, get_checkers(["lock-order-inversion"]))
+        assert len(found) == 2

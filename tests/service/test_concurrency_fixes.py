@@ -1,0 +1,139 @@
+"""Threaded regression tests for the races the concurrency profile found.
+
+Each test here pins one of the fixes triaged out of
+``repro check --profile concurrency`` on src/:
+
+* ``Tracer(threadsafe=True)`` — counter read-modify-write and the event
+  seq/append used to race when a shared tracer was hit from worker threads.
+* ``JobQueue.finalize`` — terminal job transitions used to write
+  state/error/finished_at outside the queue lock, racing ``cancel``/``close``.
+"""
+
+import threading
+
+from repro.observability import Tracer
+from repro.service import DetectionService, JobQueue, JobState
+from repro.service.jobs import Job
+
+
+class TestThreadsafeTracer:
+    def test_counter_increments_are_not_lost(self):
+        from repro.observability import NullSink
+
+        tracer = Tracer(threadsafe=True, buffer=False, sink=NullSink())
+        threads, per_thread = 8, 2000
+
+        def bump():
+            for _ in range(per_thread):
+                tracer.add_counter("hits", 1.0)
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert tracer.counters["hits"] == float(threads * per_thread)
+        assert tracer.num_emitted == threads * per_thread
+
+    def test_event_seq_unique_under_contention(self):
+        tracer = Tracer(threadsafe=True)
+
+        def emit_many():
+            for i in range(500):
+                tracer.emit("mark", "tick", i=i)
+
+        workers = [threading.Thread(target=emit_many) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        seqs = [ev.seq for ev in tracer.events]
+        assert len(seqs) == len(set(seqs)) == 2000
+
+    def test_default_tracer_stays_lockless(self):
+        assert Tracer()._lock is None
+        assert Tracer(threadsafe=True)._lock is not None
+
+
+class TestFinalize:
+    def test_finalize_moves_running_job_to_done(self):
+        q = JobQueue()
+        job = Job(kind="detect")
+        q.submit(job)
+        claimed = q.claim(timeout=1)
+        assert claimed is job
+        assert q.finalize(job, JobState.DONE, result={"q": 0.5}) is True
+        assert job.state == JobState.DONE
+        assert job.result == {"q": 0.5}
+        assert job.finished_at is not None
+
+    def test_finalize_rejects_non_terminal_state(self):
+        import pytest
+
+        q = JobQueue()
+        job = Job(kind="detect")
+        with pytest.raises(ValueError, match="terminal"):
+            q.finalize(job, JobState.RUNNING)
+
+    def test_finalize_is_idempotent_first_writer_wins(self):
+        q = JobQueue()
+        job = Job(kind="detect")
+        q.submit(job)
+        q.claim(timeout=1)
+        assert q.finalize(job, JobState.FAILED, error="boom") is True
+        # a second terminal transition must not rewrite anything
+        assert q.finalize(job, JobState.DONE, result={"q": 1.0}) is False
+        assert job.state == JobState.FAILED
+        assert job.error == "boom"
+        assert job.result is None
+
+    def test_racing_finalizers_apply_exactly_once(self):
+        q = JobQueue()
+        job = Job(kind="detect")
+        q.submit(job)
+        q.claim(timeout=1)
+        barrier = threading.Barrier(8)
+        wins = []
+
+        def racer(i):
+            barrier.wait()
+            if q.finalize(job, JobState.DONE, result={"winner": i}):
+                wins.append(i)
+
+        workers = [threading.Thread(target=racer, args=(i,)) for i in range(8)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(wins) == 1
+        assert job.result == {"winner": wins[0]}
+
+
+class TestServiceTracerSharing:
+    def test_concurrent_jobs_share_tracer_without_losing_counts(self):
+        """Many runner threads hammer the service-wide tracer at once.
+
+        Runners get per-job tracers for spans, but counters roll up on the
+        shared ``svc.tracer`` — the object the threadsafe fix exists for.
+        """
+        box = {}
+        started = threading.Barrier(4, timeout=10)
+
+        def runner(job, ctx):
+            started.wait()
+            for _ in range(300):
+                box["svc"].tracer.add_counter("work", 1.0)
+            return {"ok": True}
+
+        svc = DetectionService(runner=runner, num_workers=4)
+        box["svc"] = svc
+        try:
+            jobs = [svc.submit_graph(object()) for _ in range(4)]
+            for job in jobs:
+                svc.wait(job.job_id, timeout=10)
+            assert all(j.state == JobState.DONE for j in jobs)
+            assert svc.tracer.counters["work"] == 4 * 300.0
+            # the bookkeeping counters went through the same lock
+            assert svc.tracer.counters["service_jobs_completed"] == 4.0
+        finally:
+            svc.close()
