@@ -123,7 +123,7 @@ class MatrixResult:
 
 _RUNNER_KEYS = {
     "variant", "graph", "ranks", "seed", "machine", "threads", "nodes",
-    "work_scale", "work_edges", "schedule_p1", "schedule_p2",
+    "backend", "work_scale", "work_edges", "schedule_p1", "schedule_p2",
 }
 
 
@@ -200,6 +200,7 @@ def _run_once(
 
     p = cell.params
     variant = str(p.get("variant", "parallel"))
+    backend = str(p.get("backend", "hash"))
     ranks = int(p.get("ranks", 4))
     seed = int(p.get("seed", 0))
     machine = _resolve_machine(p.get("machine"))
@@ -227,6 +228,8 @@ def _run_once(
         from ..metrics import modularity
         from ..parallel import label_propagation
 
+        if backend != "hash":
+            raise BenchConfigError("lpa cells take no backend override")
         tracer = Tracer()
         t0 = time.perf_counter()
         res = label_propagation(
@@ -262,11 +265,17 @@ def _run_once(
         algorithm=variant, num_ranks=ranks, seed=seed, tracer=tracer
     )
     if variant != "sequential":
+        kwargs["backend"] = backend
         kwargs.update(extras)
         if schedule is not None:
             kwargs["schedule"] = schedule
     elif schedule is not None:
         raise BenchConfigError("sequential cells take no schedule override")
+    elif backend != "hash":
+        raise BenchConfigError(
+            "sequential cells have no rank data-plane; drop the backend "
+            "factor or exclude backend != 'hash' for variant = 'sequential'"
+        )
 
     t0 = time.perf_counter()
     summary = detect_communities(graph, **kwargs)

@@ -56,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--ranks", type=int, default=4, help="simulated rank count")
     detect.add_argument(
+        "--backend", choices=["hash", "vector"], default="hash",
+        help="parallel data-plane: paper-faithful hash tables or the "
+        "numpy CSR kernels (identical output, ~10x faster)",
+    )
+    detect.add_argument(
         "--machine", choices=["p7ih", "bgq"], default=None,
         help="attach modeled execution times for this machine",
     )
@@ -151,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     trc_cmp.add_argument(
         "--dir", default=None, dest="golden_dir", metavar="DIR",
         help="golden directory (default: benchmarks/goldens)",
+    )
+    trc_cmp.add_argument(
+        "--backend", choices=["hash", "vector"], default=None,
+        help="re-run the benchmarks under this backend (goldens are "
+        "recorded with the hash reference; --backend vector gates the "
+        "vectorized kernels against them)",
     )
     trc_cmp.add_argument(
         "--perturb-p1", type=float, default=1.0, metavar="FACTOR",
@@ -414,6 +425,9 @@ def _cmd_detect(args) -> int:
     if args.sanitize and args.algorithm not in ("parallel", "naive"):
         print("--sanitize requires --algorithm parallel|naive", file=sys.stderr)
         return 2
+    if args.backend != "hash" and args.algorithm not in ("parallel", "naive"):
+        print("--backend requires --algorithm parallel|naive", file=sys.stderr)
+        return 2
 
     graph = read_edge_list(args.input)
     print(f"loaded {graph.num_vertices} vertices / {graph.num_edges} edges")
@@ -442,10 +456,15 @@ def _cmd_detect(args) -> int:
         raw = None
     else:
         try:
+            backend_kwargs = (
+                {"backend": args.backend}
+                if args.algorithm in ("parallel", "naive")
+                else {}
+            )
             summary = detect_communities(
                 graph, algorithm=args.algorithm, num_ranks=args.ranks,
                 machine=machine, seed=args.seed, tracer=tracer,
-                sanitize=args.sanitize or None,
+                sanitize=args.sanitize or None, **backend_kwargs,
             )
         except InvariantViolation as exc:
             if tracer is not None:
@@ -762,7 +781,8 @@ def _cmd_trace(args) -> int:
         path = golden_path(spec, directory)
         try:
             drifts = compare_golden(
-                spec, path, tol, perturb_p1=args.perturb_p1
+                spec, path, tol, perturb_p1=args.perturb_p1,
+                backend=args.backend,
             )
         except OSError as exc:
             print(

@@ -61,13 +61,43 @@ def pack_key(t1: np.ndarray, t2: np.ndarray, *, shift: int = 32) -> np.ndarray:
         raise ValueError("shift must be in [1, 63]")
     t1_in = np.asarray(t1)
     t2_in = np.asarray(t2)
-    # Negative signed ids would wrap modulo 2^64 under the uint64 cast and
-    # pass the field checks as huge-but-valid values; reject them up front.
+    # Negative ids would wrap modulo 2^64 under the uint64 cast and pass the
+    # field checks as huge-but-valid values; reject them up front.  This must
+    # cover float inputs too (np.unique / set arithmetic upstream can yield
+    # float64 arrays), where the cast of a negative is just as silent -- and
+    # a fractional id would truncate, aliasing distinct ids onto one key.
     for name, arr in (("t1", t1_in), ("t2", t2_in)):
-        if np.issubdtype(arr.dtype, np.signedinteger) and arr.size and arr.min() < 0:
+        if not arr.size:
+            continue
+        if np.issubdtype(arr.dtype, np.floating):
+            lo = arr.min()
+            if lo < 0:
+                raise ValueError(
+                    f"{name} holds negative ids (min {float(lo)}); "
+                    "packed keys require non-negative vertex/community ids"
+                )
+            if not np.array_equal(arr, np.trunc(arr)):
+                raise ValueError(
+                    f"{name} holds non-integral float ids; packed keys "
+                    "require integer vertex/community ids"
+                )
+            # Casting a float >= 2^64 to uint64 is undefined (wraps to 0 on
+            # x86), which would sail through the field checks below.
+            if arr.max() >= float(1 << 64):
+                raise ValueError(
+                    f"{name} holds ids >= 2^64 (max {float(arr.max())}); "
+                    "they cannot be represented in a 64-bit packed key"
+                )
+        elif np.issubdtype(arr.dtype, np.signedinteger):
+            if arr.min() < 0:
+                raise ValueError(
+                    f"{name} holds negative ids (min {int(arr.min())}); "
+                    "packed keys require non-negative vertex/community ids"
+                )
+        elif not np.issubdtype(arr.dtype, np.unsignedinteger):
             raise ValueError(
-                f"{name} holds negative ids (min {int(arr.min())}); "
-                "packed keys require non-negative vertex/community ids"
+                f"{name} has unsupported dtype {arr.dtype} for key packing; "
+                "expected an integer (or integral float) array"
             )
     t1 = t1_in.astype(np.uint64)
     t2 = t2_in.astype(np.uint64)

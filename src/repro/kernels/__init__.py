@@ -1,0 +1,39 @@
+"""Flat-array (CSR) kernel utilities shared by the vectorized backend.
+
+The paper's cost model puts essentially all of the runtime into the
+per-superstep gain scan, Out_Table aggregation and REFINE; the hash-table
+reference path executes those against :class:`~repro.hashing.EdgeHashTable`
+probing.  This package holds the array reformulation those phases share when
+run under ``backend="vector"`` (:mod:`repro.parallel.vectorized`): combined
+integer keys instead of packed hash keys, stable-sort segment reductions
+instead of probe chains, and per-destination-rank pregrouping for the
+alltoallv exchanges.
+
+Everything here is pure numpy with no dependency on the rest of the
+repository, so the utilities are unit-testable in isolation and reusable by
+future kernels (GPU, out-of-core).
+"""
+
+from .csr import (
+    IndexWidthError,
+    check_combined_width,
+    coalesce_pairs,
+    coalesce_with_order,
+    combine_keys,
+    group_by_rank,
+    segment_coalesce,
+    segment_starts,
+    split_keys,
+)
+
+__all__ = [
+    "IndexWidthError",
+    "check_combined_width",
+    "combine_keys",
+    "split_keys",
+    "coalesce_pairs",
+    "coalesce_with_order",
+    "segment_coalesce",
+    "segment_starts",
+    "group_by_rank",
+]

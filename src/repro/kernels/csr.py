@@ -1,0 +1,292 @@
+"""CSR / segment-reduction primitives for the vectorized Louvain backend.
+
+Three families of helpers:
+
+* **Combined keys** -- the vector backend replaces the hash path's
+  ``pack(t1, t2)`` bit-packed ``uint64`` keys with plain ``int64`` arithmetic
+  ``first * bound + second``.  That trades the Eq.-5 bit fields for a
+  multiplication, which silently wraps at ``2^63`` if nobody checks -- so
+  :func:`combine_keys` validates the id widths up front and raises a
+  descriptive :class:`IndexWidthError` instead of corrupting edge identity
+  (the same fail-loudly contract :func:`repro.hashing.pack_key` follows).
+* **Segment coalescing** -- :func:`segment_coalesce` is the array analogue of
+  ``EdgeHashTable.insert_accumulate``: group duplicate keys and sum their
+  weights.  Group membership comes from one stable (radix) argsort, but the
+  weights are summed with ``np.bincount`` over the *original* array -- a
+  strict left-to-right fold in arrival order, bit-identical to the hash
+  table's ``np.add.at`` coalescing pass.  (``np.add.reduceat`` would be the
+  obvious choice but uses pairwise summation, which rounds differently and
+  would smear ulp-level noise into the differential gate.)
+* **Rank pregrouping** -- :func:`group_by_rank` splits record columns into
+  per-destination-rank batches ahead of time, so a phase with a *static*
+  destination pattern (STATE PROPAGATION resends the same in-edges every
+  inner iteration) can pay the grouping sort once per level and hand
+  ready-made batches to ``MessageBus.exchange_grouped``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "IndexWidthError",
+    "check_combined_width",
+    "combine_keys",
+    "split_keys",
+    "coalesce_pairs",
+    "coalesce_with_order",
+    "segment_coalesce",
+    "segment_starts",
+    "group_by_rank",
+]
+
+#: Largest value an int64 combined key may reach (inclusive).
+_INT64_MAX = (1 << 63) - 1
+
+
+class IndexWidthError(ValueError):
+    """Combined-key arithmetic would overflow int64 (or ids are invalid).
+
+    Raised *before* any array math wraps, with the offending quantities in
+    the message -- silent modulo-2^63 wraparound here would merge unrelated
+    ``(vertex, community)`` pairs and corrupt the gain scan undetectably.
+    """
+
+
+def check_combined_width(num_first: int, bound_second: int, *, what: str = "key") -> None:
+    """Validate that ``first * bound + second`` fits int64 for all valid ids.
+
+    ``num_first`` is an exclusive upper bound on ``first`` and
+    ``bound_second`` an exclusive upper bound on ``second``.
+    """
+    num_first = int(num_first)
+    bound_second = int(bound_second)
+    if num_first < 0 or bound_second < 0:
+        raise IndexWidthError(
+            f"{what}: id bounds must be non-negative "
+            f"(got first<{num_first}, second<{bound_second})"
+        )
+    if num_first == 0 or bound_second == 0:
+        return
+    top = (num_first - 1) * bound_second + (bound_second - 1)
+    if top > _INT64_MAX:
+        raise IndexWidthError(
+            f"{what}: combined key (first * {bound_second} + second) with "
+            f"first < {num_first} reaches {top}, which overflows int64 "
+            f"(max {_INT64_MAX}); the graph is too large for the int64 "
+            "combined-key layout"
+        )
+
+
+def combine_keys(
+    first: np.ndarray, second: np.ndarray, bound_second: int, *, what: str = "key"
+) -> np.ndarray:
+    """``first * bound_second + second`` as int64, with width validation.
+
+    Both id arrays must be non-negative and ``second`` must be strictly
+    below ``bound_second``; violations raise :class:`IndexWidthError` naming
+    the offending value instead of silently wrapping (the int64 analogue of
+    ``pack_key``'s Eq.-5 field checks).
+    """
+    first = np.asarray(first, dtype=np.int64)
+    second = np.asarray(second, dtype=np.int64)
+    if first.shape != second.shape:
+        raise ValueError("first and second must have identical shapes")
+    bound_second = int(bound_second)
+    if first.size == 0:
+        return np.empty(0, dtype=np.int64)
+    fmin, fmax = int(first.min()), int(first.max())
+    smin, smax = int(second.min()), int(second.max())
+    if fmin < 0 or smin < 0:
+        raise IndexWidthError(
+            f"{what}: negative ids cannot be combined "
+            f"(min first={fmin}, min second={smin})"
+        )
+    if smax >= bound_second:
+        raise IndexWidthError(
+            f"{what}: second id {smax} is out of range for bound "
+            f"{bound_second}; the combined key would alias another pair"
+        )
+    check_combined_width(fmax + 1, bound_second, what=what)
+    return first * np.int64(bound_second) + second
+
+
+def split_keys(keys: np.ndarray, bound_second: int) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`combine_keys`."""
+    keys = np.asarray(keys, dtype=np.int64)
+    bound = np.int64(int(bound_second))
+    return keys // bound, keys % bound
+
+
+def segment_coalesce(
+    keys: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``weights`` over duplicate ``keys``; returns sorted unique keys.
+
+    The array analogue of hash-table accumulate-insert.  Grouping comes
+    from one stable argsort; the sums come from ``np.bincount`` over the
+    original arrival order, which folds strictly left to right and therefore
+    reproduces the hash table's ``np.add.at`` rounding bit for bit.
+    """
+    keys = np.asarray(keys, dtype=np.int64).ravel()
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if keys.shape != weights.shape:
+        raise ValueError("keys and weights must have the same length")
+    if keys.size == 0:
+        return keys, weights
+    return coalesce_with_order(keys, np.argsort(keys, kind="stable"), weights)
+
+
+def coalesce_with_order(
+    keys: np.ndarray, order: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`segment_coalesce` given a caller-supplied sorting permutation.
+
+    ``order`` must be *some* permutation for which ``keys[order]`` is
+    non-decreasing -- it does not have to be the stable argsort.  Group sums
+    fold in the keys' original arrival order regardless (``np.bincount``
+    over the inverse group map), so any valid ``order`` yields bit-identical
+    results.  Callers with incrementally changing keys exploit this: re-sort
+    through the previous iteration's permutation (nearly sorted, so the
+    stable sort degenerates to a fast linear merge) instead of from scratch.
+    """
+    keys = np.asarray(keys).ravel()
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    sk = keys[order]
+    starts = segment_starts(sk)
+    group_of_sorted = np.zeros(sk.size, dtype=np.int64)
+    group_of_sorted[starts] = 1
+    np.cumsum(group_of_sorted, out=group_of_sorted)
+    group_of_sorted -= 1
+    inv = np.empty(sk.size, dtype=np.int64)
+    inv[order] = group_of_sorted
+    sums = np.bincount(inv, weights=weights, minlength=starts.size)
+    return sk[starts], sums
+
+
+#: Exclusive value bound under which one coordinate fits a uint16 radix pass.
+_RADIX16_BOUND = 1 << 16
+
+
+def coalesce_pairs(
+    first: np.ndarray,
+    second: np.ndarray,
+    num_first: int,
+    num_second: int,
+    weights: np.ndarray,
+    *,
+    first_u16: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coalesce ``(first, second)`` id pairs, summing ``weights`` per pair.
+
+    Returns ``(first_u, second_u, sums)`` sorted ascending by ``(first,
+    second)``.  Output is *identical* to ``segment_coalesce(first * num_second
+    + second, weights)`` split back into coordinates -- the sums always fold
+    in arrival order via ``np.bincount`` -- but the grouping strategy is
+    chosen by id range instead of always paying a 64-bit comparison sort:
+
+    * **dense** -- when ``num_first * num_second`` is within a few passes of
+      the record count, bincount straight into the dense pair grid; bin
+      order is pair order, so no sort happens at all;
+    * **radix** -- when both coordinates fit 16 bits, two stable uint16
+      argsorts (numpy's radix path) replace the combined int64 argsort
+      (numpy's comparison path), LSD-style: sort by ``second``, then stably
+      by ``first``;
+    * **fallback** -- the combined-key stable argsort, with the int64 width
+      check.
+
+    ``first_u16`` optionally supplies a pre-cast uint16 copy of ``first``
+    for the radix path (callers whose ``first`` column is static across many
+    coalesces can pay the cast once); ``second`` may itself be passed as a
+    narrow unsigned dtype to skip its cast the same way.
+    """
+    first = np.asarray(first).ravel()
+    second = np.asarray(second).ravel()
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if first.shape != second.shape or first.shape != weights.shape:
+        raise ValueError("first, second and weights must have the same length")
+    num_first = int(num_first)
+    num_second = int(num_second)
+    n = first.size
+    if n == 0:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+
+    bins = num_first * num_second
+    if 0 < bins <= max(1 << 16, 8 * n):
+        keys = first.astype(np.int64) * np.int64(num_second) + second
+        counts = np.bincount(keys, minlength=bins)
+        nz = np.flatnonzero(counts)
+        sums = np.bincount(keys, weights=weights, minlength=bins)[nz]
+        f = nz // num_second
+        return f, nz - f * num_second, sums
+
+    if num_first <= _RADIX16_BOUND and num_second <= _RADIX16_BOUND:
+        s16 = second if second.dtype == np.uint16 else second.astype(np.uint16)
+        f16 = first_u16 if first_u16 is not None else (
+            first if first.dtype == np.uint16 else first.astype(np.uint16)
+        )
+        p = np.argsort(s16, kind="stable")
+        order = p[np.argsort(f16[p], kind="stable")]
+        # Boundary scan in 16-bit space: half the gather/compare traffic.
+        sf, ss = f16[order], s16[order]
+    else:
+        check_combined_width(num_first, num_second, what="pair coalesce key")
+        order = np.argsort(
+            first.astype(np.int64) * np.int64(num_second) + second,
+            kind="stable",
+        )
+        sf, ss = first[order], second[order]
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    np.logical_or(sf[1:] != sf[:-1], ss[1:] != ss[:-1], out=new[1:])
+    starts = np.flatnonzero(new)
+    gid = np.cumsum(new)
+    gid -= 1
+    inv = np.empty(n, dtype=np.int64)
+    inv[order] = gid
+    sums = np.bincount(inv, weights=weights, minlength=starts.size)
+    sel = order[starts]
+    return (
+        first[sel].astype(np.int64, copy=False),
+        second[sel].astype(np.int64, copy=False),
+        sums,
+    )
+
+
+def segment_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Indices where each run of equal values begins in a sorted array."""
+    sorted_keys = np.asarray(sorted_keys)
+    if sorted_keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    new = np.empty(sorted_keys.size, dtype=bool)
+    new[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new[1:])
+    return np.flatnonzero(new)
+
+
+def group_by_rank(
+    dest: np.ndarray, num_ranks: int, *cols: np.ndarray
+) -> list[tuple[np.ndarray, ...]]:
+    """Split record columns into per-destination-rank batches.
+
+    Returns one column tuple per rank (empty arrays for silent ranks).  The
+    grouping sort is *stable*, so records for one destination keep their
+    arrival order -- the same order ``MessageBus.exchange`` would deliver
+    them -- which makes pregrouped and on-the-fly exchanges byte-identical.
+    """
+    dest = np.asarray(dest, dtype=np.int64)
+    num_ranks = int(num_ranks)
+    if dest.size and (int(dest.min()) < 0 or int(dest.max()) >= num_ranks):
+        raise ValueError("destination rank out of range")
+    order = np.argsort(dest, kind="stable")
+    sorted_dest = dest[order]
+    boundaries = np.searchsorted(
+        sorted_dest, np.arange(num_ranks + 1, dtype=np.int64)
+    )
+    out: list[tuple[np.ndarray, ...]] = []
+    for r in range(num_ranks):
+        a, b = int(boundaries[r]), int(boundaries[r + 1])
+        idx = order[a:b]
+        out.append(tuple(np.asarray(col)[idx] for col in cols))
+    return out

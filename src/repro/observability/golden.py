@@ -533,6 +533,7 @@ def run_spec(
     *,
     sink: Any | None = None,
     perturb_p1: float = 1.0,
+    backend: str | None = None,
 ) -> "Any":
     """Run one benchmark; returns the tracer (closed if sink-backed).
 
@@ -540,6 +541,12 @@ def run_spec(
     self-test knob: a perturbed schedule must register as drift.  (It only
     affects benchmarks that use the schedule, i.e. ``algorithm="parallel"``,
     including the dynamic warm-start specs.)
+
+    ``backend`` overrides the distributed compute backend ("hash" or
+    "vector") for the parallel/naive/dynamic benchmarks; the sequential
+    baseline takes no backend and ignores the override.  Comparing a vector
+    re-run against the hash-recorded goldens is the convergence-equivalence
+    gate for the vectorized backend.
     """
     from ..parallel import ExponentialSchedule, detect_communities
     from .tracer import Tracer
@@ -548,6 +555,9 @@ def run_spec(
     if spec.algorithm == "parallel" and not math.isclose(perturb_p1, 1.0):
         base = ExponentialSchedule()
         schedule = ExponentialSchedule(p1=base.p1 * perturb_p1, p2=base.p2)
+    backend_kwargs: dict[str, Any] = {}
+    if backend is not None and spec.algorithm != "sequential":
+        backend_kwargs["backend"] = backend
     graph = spec.build_graph()
     tracer = Tracer(sink=sink, buffer=sink is None)
     if spec.dynamic is not None:
@@ -557,12 +567,13 @@ def run_spec(
         # deterministic batch, then the warm start under the tracer.
         base_run = detect_communities(
             graph, algorithm="parallel", num_ranks=spec.num_ranks,
-            seed=spec.seed,
+            seed=spec.seed, **backend_kwargs,
         )
         batch = _dynamic_batch(graph, spec.dynamic)
         cfg_kwargs: dict[str, Any] = dict(num_ranks=spec.num_ranks)
         if schedule is not None:
             cfg_kwargs["schedule"] = schedule
+        cfg_kwargs.update(backend_kwargs)
         incremental_louvain(
             graph, batch, base_run.membership,
             ParallelLouvainConfig(**cfg_kwargs), tracer=tracer,
@@ -575,6 +586,7 @@ def run_spec(
             schedule=schedule,
             seed=spec.seed,
             tracer=tracer,
+            **backend_kwargs,
         )
     tracer.close()
     return tracer
@@ -601,12 +613,13 @@ def compare_golden(
     tol: Tolerances | None = None,
     *,
     perturb_p1: float = 1.0,
+    backend: str | None = None,
 ) -> list[Drift]:
     """Re-run ``spec`` and diff its fingerprint against the golden at ``path``."""
     from .exporters import iter_jsonl
 
     golden_fp = fingerprint_events(iter_jsonl(path))
-    tracer = run_spec(spec, perturb_p1=perturb_p1)
+    tracer = run_spec(spec, perturb_p1=perturb_p1, backend=backend)
     current_fp = fingerprint_events(tracer.events)
     return compare_fingerprints(golden_fp, current_fp, tol)
 

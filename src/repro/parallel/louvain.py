@@ -73,12 +73,22 @@ class ParallelLouvainConfig:
     resolution: float = 1.0
     #: Seed for failure-injection message reordering (None = in-order).
     reorder_seed: int | None = None
+    #: Execution backend: ``"hash"`` is the paper-faithful EdgeHashTable
+    #: path; ``"vector"`` runs the same supersteps over flat CSR arrays
+    #: (:mod:`repro.parallel.vectorized`), converging identically but an
+    #: order of magnitude faster.
+    backend: str = "hash"
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1:
             raise ValueError("need at least one rank")
         if self.max_inner < 1 or self.max_levels < 1:
             raise ValueError("iteration limits must be positive")
+        if self.backend not in ("hash", "vector"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose 'hash' "
+                "(paper-faithful hash tables) or 'vector' (CSR arrays)"
+            )
 
 
 @dataclass(frozen=True)
@@ -583,6 +593,65 @@ def _apply_initial_membership(
 
 
 # ===================================================================== #
+# Backends
+# ===================================================================== #
+
+
+class _HashBackend:
+    """The paper-faithful execution layer: EdgeHashTable In/Out tables.
+
+    A backend owns the *data-plane* of the algorithm -- how per-rank state
+    is stored and how each phase computes -- while :func:`parallel_louvain`
+    keeps the control-plane (level/iteration loops, threshold schedule,
+    tracing, sanitizing) shared across backends.  Every backend must drive
+    the exact same superstep sequence with the same logical records, so a
+    golden trace recorded under one backend gates the other.
+
+    Rank states must expose ``owned`` / ``strength`` / ``community`` /
+    ``tot`` / ``size`` arrays (consumed by the shared UPDATE and warm-start
+    code) and a ``tables`` object whose ``in_table`` / ``out_table`` support
+    ``items()`` / ``len()`` / ``stats()`` (consumed by the tracer and
+    sanitizer hooks in the main loop).
+    """
+
+    name = "hash"
+
+    def build_states(self, sim, partition, graph, config):
+        tables = build_in_tables(
+            graph,
+            partition,
+            hash_function=config.hash_function,
+            load_factor=config.load_factor,
+            key_shift=config.key_shift,
+            sanitizer=sim.sanitizer,
+        )
+        return [
+            _RankState(r, partition, tables[r]) for r in range(config.num_ranks)
+        ]
+
+    def state_propagation(self, sim, partition, ranks):
+        _state_propagation(sim, partition, ranks)
+        _fetch_sigma_tot(sim, partition, ranks)
+
+    def find_best(self, sim, partition, ranks, m, resolution):
+        return _find_best(sim, partition, ranks, m, resolution)
+
+    def compute_modularity(self, sim, partition, ranks, m, resolution):
+        return _compute_modularity(sim, partition, ranks, m, resolution)
+
+    def reconstruct(self, sim, partition, ranks, config):
+        return _reconstruct(sim, partition, ranks, config)
+
+
+def _make_backend(config: ParallelLouvainConfig):
+    if config.backend == "vector":
+        from .vectorized import VectorBackend
+
+        return VectorBackend()
+    return _HashBackend()
+
+
+# ===================================================================== #
 # Driver
 # ===================================================================== #
 
@@ -676,16 +745,9 @@ def parallel_louvain(
         sanitize=sanitize,
     )
     san = sim.sanitizer
+    backend = _make_backend(config)
     partition = ModuloPartition(graph.num_vertices, config.num_ranks)
-    tables = build_in_tables(
-        graph,
-        partition,
-        hash_function=config.hash_function,
-        load_factor=config.load_factor,
-        key_shift=config.key_shift,
-        sanitizer=san,
-    )
-    ranks = [_RankState(r, partition, tables[r]) for r in range(config.num_ranks)]
+    ranks = backend.build_states(sim, partition, graph, config)
     if tracer.enabled:
         tracer.run_start(
             "parallel" if config.schedule is not None else "naive",
@@ -741,8 +803,7 @@ def parallel_louvain(
             ]
         level_before = _snapshot(sim)
         with sim.phase("STATE_PROPAGATION"):
-            _state_propagation(sim, partition, ranks)
-            _fetch_sigma_tot(sim, partition, ranks)
+            backend.state_propagation(sim, partition, ranks)
 
         iter_stats: list[InnerIterationStats] = []
         prev_q = -1.0
@@ -753,7 +814,7 @@ def parallel_louvain(
                     san.enter_iteration(iteration)
                 before = _snapshot(sim)
                 with sim.phase("FIND_BEST"):
-                    best_gain, best_comm = _find_best(
+                    best_gain, best_comm = backend.find_best(
                         sim, partition, ranks, m, config.resolution
                     )
                 with sim.phase("THRESHOLD"):
@@ -766,10 +827,9 @@ def parallel_louvain(
                         dq_hat, config.min_gain,
                     )
                 with sim.phase("STATE_PROPAGATION"):
-                    _state_propagation(sim, partition, ranks)
-                    _fetch_sigma_tot(sim, partition, ranks)
+                    backend.state_propagation(sim, partition, ranks)
                 with sim.phase("MODULARITY"):
-                    q = _compute_modularity(
+                    q = backend.compute_modularity(
                         sim, partition, ranks, m, config.resolution
                     )
                 if san.enabled:
@@ -832,7 +892,9 @@ def parallel_louvain(
                 float(st.tables.in_table.items()[1].sum()) for st in ranks
             )
         with sim.phase("GRAPH_RECONSTRUCTION"):
-            ranks, new_partition, labels = _reconstruct(sim, partition, ranks, config)
+            ranks, new_partition, labels = backend.reconstruct(
+                sim, partition, ranks, config
+            )
         if san.enabled:
             # Contraction reroutes every adjacency entry to a supervertex
             # owner; no weight may be created or dropped (Algorithm 5).

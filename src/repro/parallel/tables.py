@@ -76,10 +76,18 @@ class RankTables:
     # ------------------------------------------------------------------ #
 
     def in_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """All ``(v, u, w)`` in-edge triples stored on this rank."""
+        """All ``(v, u, w)`` in-edge triples stored on this rank.
+
+        Returned in ascending ``(v, u)`` order for the same reason
+        :meth:`out_entries` sorts: slot order leaks the hash family into
+        the per-vertex strength and self-loop folds at rank-state
+        construction, shifting k_u (and every gain derived from it) by an
+        ulp when the table layout changes.
+        """
         keys, weights = self.in_table.items()
-        v, u = unpack_key(keys, shift=self.key_shift)
-        return v, u, weights
+        order = np.argsort(keys)
+        v, u = unpack_key(keys[order], shift=self.key_shift)
+        return v, u, weights[order]
 
     def add_in_edges(self, v: np.ndarray, u: np.ndarray, w: np.ndarray) -> None:
         """Accumulate in-edges ``(v → u)`` (used by graph reconstruction)."""
@@ -102,10 +110,19 @@ class RankTables:
     # ------------------------------------------------------------------ #
 
     def out_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """All ``(u, c, w_{u→c})`` triples accumulated on this rank."""
+        """All ``(u, c, w_{u→c})`` triples accumulated on this rank.
+
+        Returned in ascending ``(u, c)`` order, *not* hash-slot order: slot
+        order depends on the hash family and table capacity, and shipping
+        entries in that order used to leak into downstream float folds
+        (MODULARITY's per-community sums, RECONSTRUCTION's superedge
+        accumulation), making the last ulp of Q depend on ``hash_function``.
+        Sorting the packed keys canonicalizes every consumer.
+        """
         keys, weights = self.out_table.items()
-        u, c = unpack_key(keys, shift=self.key_shift)
-        return u, c, weights
+        order = np.argsort(keys)
+        u, c = unpack_key(keys[order], shift=self.key_shift)
+        return u, c, weights[order]
 
     def accumulate_out(self, u: np.ndarray, c: np.ndarray, w: np.ndarray) -> None:
         """Hash received ``((u, c), w)`` records into the Out_Table."""

@@ -1,0 +1,607 @@
+"""Vectorized CSR execution backend (``backend="vector"``).
+
+A second, independent implementation of the per-rank data-plane of the
+parallel Louvain algorithm.  Where the paper-faithful hash backend stores
+each rank's adjacency and Out_Table in :class:`~repro.hashing.EdgeHashTable`
+instances and pays per-record probe chains, this backend keeps
+
+* the local adjacency as flat **CSR-style arrays** ``(in_v, in_ul, in_w)``
+  -- one coalesced in-edge ``(v -> u)`` per row, with ``u`` owned locally --
+  pregrouped once per level into per-destination-rank batches for the
+  STATE PROPAGATION alltoallv (``MessageBus.exchange_grouped``);
+* the Out_Table as sorted segment arrays ``(out_ul, out_c, out_w)`` rebuilt
+  each superstep by one stable argsort + ``np.bincount`` coalesce
+  (:func:`repro.kernels.segment_coalesce`);
+* community ``sigma_tot`` / size replicas as **dense vectors** indexed by
+  community id, replacing per-lookup ``searchsorted`` probes;
+* the Eq.-4 gain scan and best-move selection as segment reductions
+  (``np.maximum.reduceat`` with a first-hit tie-break that reproduces the
+  hash path's "max gain, then smallest community id" ordering exactly).
+
+The backend drives the *identical* superstep sequence with the identical
+logical records -- same exchanges, same request sets, same record counts --
+so a golden trace recorded under ``backend="hash"`` gates this backend
+within the standard tolerances (exact on unweighted graphs, where every
+floating-point reduction here is order-insensitive).
+
+Community/vertex ids are combined into ``int64`` keys via ``v * n + u``
+instead of the hash path's Eq.-5 bit packing; the width precondition
+(``n**2`` must fit ``int64``) is validated once per level and violations
+raise :class:`repro.kernels.IndexWidthError` instead of silently wrapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels import (
+    check_combined_width,
+    coalesce_pairs,
+    coalesce_with_order,
+    group_by_rank,
+    segment_coalesce,
+    segment_starts,
+)
+from .partition import ModuloPartition
+
+__all__ = ["VectorBackend"]
+
+
+class _ArrayTableView:
+    """Duck-typed read-only stand-in for an ``EdgeHashTable``.
+
+    The main loop's tracer and sanitizer hooks introspect per-rank tables
+    through ``items()`` / ``len()`` / ``stats()``; this view serves those
+    queries straight from the CSR arrays so In_Table immutability and
+    weight-conservation checks run unchanged against the vector backend.
+    """
+
+    __slots__ = ("_state", "_kind")
+
+    def __init__(self, state: "_VectorRankState", kind: str) -> None:
+        self._state = state
+        self._kind = kind
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        st = self._state
+        n = np.int64(st.n_level)
+        stride = np.int64(st.num_ranks)
+        if self._kind == "in":
+            u_global = st.in_ul * stride + np.int64(st.rank)
+            return st.in_v * n + u_global, st.in_w
+        u_global = st.out_ul * stride + np.int64(st.rank)
+        return u_global * n + st.out_c, st.out_w
+
+    def __len__(self) -> int:
+        st = self._state
+        return int(st.in_v.size if self._kind == "in" else st.out_ul.size)
+
+    def stats(self) -> dict[str, float | int | str]:
+        entries = len(self)
+        return {
+            "entries": entries,
+            "capacity": entries,
+            "load_factor": 1.0,
+            "hash": "csr",
+            "probe_count": 0,
+            "insert_count": entries,
+            "probes_per_insert": 0.0,
+            "avg_probe_length": 0.0,
+            "max_probe_length": 0,
+        }
+
+
+class _ArrayTables:
+    """``RankTables``-shaped holder of the two table views."""
+
+    __slots__ = ("in_table", "out_table")
+
+    def __init__(self, state: "_VectorRankState") -> None:
+        self.in_table = _ArrayTableView(state, "in")
+        self.out_table = _ArrayTableView(state, "out")
+
+
+class _VectorRankState:
+    """Everything one rank owns at one level, as flat arrays."""
+
+    __slots__ = (
+        "rank",
+        "num_ranks",
+        "n_level",
+        "owned",  # global ids of owned vertices, ascending
+        "strength",  # k_u per owned vertex (local index order)
+        "self_adj",  # A_uu per owned vertex
+        "community",  # global community label per owned vertex
+        "tot",  # authoritative sigma_tot per owned *community* (local idx)
+        "size",  # authoritative member count per owned community
+        "in_v",  # coalesced in-edges: neighbor (source) global id
+        "in_ul",  # ... owned endpoint, local index
+        "in_w",  # ... weight
+        "send_parts",  # per-dest (v, ul, w) batches, grouped once per level
+        "rep_tot",  # dense sigma_tot replica, indexed by community id
+        "rep_size",  # dense community-size replica
+        "out_ul",  # Out_Table: owned vertex local id (sorted segments)
+        "out_c",  # ... neighbor community (ascending within a segment)
+        "out_w",  # ... w_{u->c}
+        "out_starts",  # first entry of each per-vertex segment
+        "out_seg",  # entry -> segment index
+        "sigma_flags",  # bool[n_level]: communities adjacent via in-edges
+        "prop_ul",  # cached inbox u_local column (static per level)
+        "prop_ul16",  # ... its uint16 cast for the radix coalesce
+        "prop_key_base",  # ... u_local * n_level, the static key half
+        "prev_key",  # previous iteration's (u_local, c) keys ...
+        "prev_order",  # ... and their sorting permutation (warm start)
+        "tables",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        partition: ModuloPartition,
+        v: np.ndarray,
+        u: np.ndarray,
+        w: np.ndarray,
+        sanitizer=None,
+    ) -> None:
+        self.rank = rank
+        self.num_ranks = partition.num_ranks
+        self.n_level = int(partition.num_vertices)
+        self.owned = partition.owned(rank)
+        n = np.int64(self.n_level)
+        # One check covers every combined key this level: in-edge (v, u),
+        # Out_Table (u_local, c) and the table views all stay below n**2.
+        check_combined_width(
+            self.n_level, self.n_level, what=f"rank {rank} level adjacency key"
+        )
+        if sanitizer is not None and sanitizer.enabled:
+            sanitizer.check_finite(w, rank=rank, what="in-edge weights")
+        v = np.asarray(v, dtype=np.int64)
+        u = np.asarray(u, dtype=np.int64)
+        keys, weights = segment_coalesce(v * n + u, w)
+        self.in_v = keys // n
+        u_glob = keys - self.in_v * n
+        self.in_ul = partition.to_local(u_glob)
+        self.in_w = weights
+        n_local = self.owned.size
+        self.strength = np.bincount(
+            self.in_ul, weights=self.in_w, minlength=n_local
+        )
+        loops = self.in_v == u_glob
+        self.self_adj = np.bincount(
+            self.in_ul[loops], weights=self.in_w[loops], minlength=n_local
+        )
+        self.community = self.owned.copy()
+        self.tot = self.strength.copy()
+        self.size = np.ones(n_local, dtype=np.int64)
+        # Ship the destination-local index of v instead of its global id:
+        # same 8-byte word on the wire, but the receiver can key its
+        # Out_Table coalesce directly without a to_local pass.
+        self.send_parts = group_by_rank(
+            partition.owner(self.in_v),
+            partition.num_ranks,
+            partition.to_local(self.in_v),
+            self.in_ul,
+            self.in_w,
+        )
+        self.rep_tot = np.zeros(self.n_level, dtype=np.float64)
+        self.rep_size = np.zeros(self.n_level, dtype=np.int64)
+        self.out_ul = np.empty(0, dtype=np.int64)
+        self.out_c = np.empty(0, dtype=np.int64)
+        self.out_w = np.empty(0, dtype=np.float64)
+        self.out_starts = np.empty(0, dtype=np.int64)
+        self.out_seg = np.empty(0, dtype=np.int64)
+        self.sigma_flags = np.zeros(self.n_level, dtype=bool)
+        self.prop_ul = None
+        self.prop_ul16 = None
+        self.prop_key_base = None
+        self.prev_key = None
+        self.prev_order = None
+        self.tables = _ArrayTables(self)
+
+
+class VectorBackend:
+    """Flat-array data-plane; same control-plane as the hash backend."""
+
+    name = "vector"
+
+    def __init__(self) -> None:
+        self._idx = np.empty(0, dtype=np.int32)
+
+    def _indices(self, size: int) -> np.ndarray:
+        """Cached ``arange(size)`` (int32) for the per-iteration gain scan."""
+        if self._idx.size < size:
+            self._idx = np.arange(
+                max(size, 2 * self._idx.size), dtype=np.int32
+            )
+        return self._idx[:size]
+
+    # -------------------------------------------------------------- #
+    # State construction
+    # -------------------------------------------------------------- #
+
+    def build_states(self, sim, partition, graph, config):
+        rows = graph.row_index()
+        cols = graph.indices
+        weights = graph.weights
+        owners = partition.owner(cols)
+        states = []
+        for rank in range(partition.num_ranks):
+            mask = owners == rank
+            states.append(
+                _VectorRankState(
+                    rank, partition, rows[mask], cols[mask], weights[mask],
+                    sanitizer=sim.sanitizer,
+                )
+            )
+        return states
+
+    # -------------------------------------------------------------- #
+    # STATE PROPAGATION (Algorithm 3) + sigma_tot replica refresh
+    # -------------------------------------------------------------- #
+
+    def state_propagation(self, sim, partition, ranks):
+        bus = sim.bus
+        prof = sim.profiler
+        n = np.int64(partition.num_vertices)
+        n_level = int(partition.num_vertices)
+        outboxes = []
+        for st in ranks:
+            comm = st.community
+            parts = [(v, comm[ul], w) for (v, ul, w) in st.send_parts]
+            prof.add_ops(st.rank, st.in_v.size)
+            outboxes.append(parts)
+        result = bus.exchange_grouped(outboxes)
+        static_inbox = bus.reorder_rng is None
+        for st in ranks:
+            vl_in, c_in, w_in = result.inbox(st.rank)
+            c_in = np.asarray(c_in, dtype=np.int64)
+            n_local = int(st.owned.size)
+            # The pregrouped exchange delivers a *static* u_local column
+            # every iteration of a level (the send parts never change), so
+            # the column and its radix cast are cached after the first
+            # propagation.  Failure injection permutes inboxes and disables
+            # the cache.
+            if static_inbox:
+                if st.prop_ul is None:
+                    st.prop_ul = np.asarray(vl_in, dtype=np.int64)
+                    st.prop_key_base = st.prop_ul * n
+                    if n_local <= 1 << 16:
+                        st.prop_ul16 = st.prop_ul.astype(np.uint16)
+                ul = st.prop_ul
+                ul16 = st.prop_ul16
+            else:
+                ul = np.asarray(vl_in, dtype=np.int64)
+                ul16 = None
+            # The distinct community labels seen on in-edges double as the
+            # sigma-fetch want set (distinct out_c == distinct c_in), so the
+            # flag scan here is not wasted work even on the sort fallback.
+            flags = np.zeros(n_level, dtype=bool)
+            flags[c_in] = True
+            st.sigma_flags = flags
+            cids = np.flatnonzero(flags)
+            k = int(cids.size)
+            # Warm start: the Eq.-7 throttle means most sources keep their
+            # community between iterations, so most (u_local, c) keys are
+            # unchanged.  Re-sorting through the previous permutation is
+            # then nearly sorted -- the stable sort degenerates to a linear
+            # merge -- and any valid ordering gives bit-identical groups
+            # (sums fold in arrival order regardless).
+            done = False
+            if static_inbox and st.prev_order is not None:
+                key = st.prop_key_base + c_in
+                churn = int(np.count_nonzero(key != st.prev_key))
+                if churn * 8 <= key.size:
+                    g = key[st.prev_order]
+                    order = st.prev_order[np.argsort(g, kind="stable")]
+                    ukeys, sums = coalesce_with_order(key, order, w_in)
+                    st.out_ul = ukeys // n
+                    st.out_c = ukeys - st.out_ul * n
+                    st.out_w = sums
+                    st.prev_key = key
+                    st.prev_order = order
+                    done = True
+            if not done and k:
+                # Remap the k live community labels to compact ids, then
+                # grade the grouping strategy (dense grid / 16-bit radix /
+                # combined-key sort); ``cids`` is ascending, so compact
+                # order is label order and ``cids[...]`` restores labels.
+                dtype = np.uint16 if k <= 1 << 16 else np.int64
+                lut = np.empty(n_level, dtype=dtype)
+                lut[cids] = np.arange(k, dtype=dtype)
+                cc = lut[c_in]
+                bins = n_local * k
+                order = None
+                if 0 < bins <= max(1 << 16, 8 * ul.size):
+                    out_ul, ccu, sums = coalesce_pairs(
+                        ul, cc, n_local, k, w_in
+                    )
+                elif n_local <= 1 << 16 and k <= 1 << 16:
+                    c16 = cc if cc.dtype == np.uint16 else cc.astype(np.uint16)
+                    u16 = ul16 if ul16 is not None else ul.astype(np.uint16)
+                    p = np.argsort(c16, kind="stable")
+                    order = p[np.argsort(u16[p], kind="stable")]
+                else:
+                    order = np.argsort(
+                        ul * np.int64(k) + cc, kind="stable"
+                    )
+                if order is None:
+                    st.out_ul = out_ul
+                    st.out_c = cids[ccu]
+                    st.out_w = sums
+                    st.prev_key = None
+                    st.prev_order = None
+                else:
+                    key = (
+                        st.prop_key_base + c_in
+                        if static_inbox
+                        else ul * n + c_in
+                    )
+                    ukeys, sums = coalesce_with_order(key, order, w_in)
+                    st.out_ul = ukeys // n
+                    st.out_c = ukeys - st.out_ul * n
+                    st.out_w = sums
+                    if static_inbox:
+                        st.prev_key = key
+                        st.prev_order = order
+                done = True
+            if not done:
+                keys, sums = segment_coalesce(ul * n + c_in, w_in)
+                st.out_ul = keys // n
+                st.out_c = keys - st.out_ul * n
+                st.out_w = sums
+            starts = segment_starts(st.out_ul)
+            st.out_starts = starts
+            seg = np.zeros(st.out_ul.size, dtype=np.int32)
+            if starts.size:
+                seg[starts] = 1
+                np.cumsum(seg, out=seg)
+                seg -= 1
+            st.out_seg = seg
+            prof.add_ops(st.rank, ul.size)
+        self._fetch_sigma(sim, partition, ranks)
+
+    def _fetch_sigma(self, sim, partition, ranks):
+        """Dense-replica refresh; same two supersteps and request sets as
+        the hash path's ``_fetch_sigma_tot`` (the flag-array scan yields the
+        same ascending distinct-community set ``np.unique`` would).
+
+        Both exchanges normally run pregrouped: requests split per
+        destination straight off the flag array (owner(c) = c mod P, so the
+        wanted ids for destination ``d`` are the set flags at positions
+        ``d::P``), and replies arrive already grouped by requester because
+        each inbox concatenates per-source parts in rank order.  Failure
+        injection permutes inboxes, which breaks the second property -- with
+        ``reorder_rng`` armed we fall back to the plain argsort exchange
+        (identical records, just regrouped on the fly).
+        """
+        bus = sim.bus
+        prof = sim.profiler
+        n_level = partition.num_vertices
+        num_ranks = partition.num_ranks
+        grouped = bus.reorder_rng is None
+        requests = []
+        for st in ranks:
+            # sigma_flags already marks distinct(out_c); add home labels.
+            flags = st.sigma_flags
+            flags[st.community] = True
+            if grouped:
+                parts = []
+                for d in range(num_ranks):
+                    wd = np.flatnonzero(flags[d::num_ranks])
+                    wd *= num_ranks
+                    wd += d
+                    parts.append(
+                        (wd, np.full(wd.size, st.rank, dtype=np.int64))
+                    )
+                requests.append(parts)
+            else:
+                want = np.flatnonzero(flags)
+                dest = partition.owner(want)
+                requester = np.full(want.size, st.rank, dtype=np.int64)
+                requests.append((dest, want, requester))
+        got = (
+            bus.exchange_grouped(requests) if grouped else bus.exchange(requests)
+        )
+        replies = []
+        for st in ranks:
+            c_req, who = got.inbox(st.rank)
+            c_req = np.asarray(c_req, dtype=np.int64)
+            local = partition.to_local(c_req)
+            vals = st.tot[local] if c_req.size else np.empty(0)
+            sizes = st.size[local] if c_req.size else np.empty(0, dtype=np.int64)
+            prof.add_ops(st.rank, c_req.size)
+            if grouped:
+                who = np.asarray(who, dtype=np.int64)
+                bounds = np.searchsorted(
+                    who, np.arange(num_ranks + 1, dtype=np.int64)
+                )
+                replies.append(
+                    [
+                        (
+                            c_req[bounds[d]:bounds[d + 1]],
+                            vals[bounds[d]:bounds[d + 1]],
+                            sizes[bounds[d]:bounds[d + 1]],
+                        )
+                        for d in range(num_ranks)
+                    ]
+                )
+            else:
+                replies.append(
+                    (np.asarray(who, dtype=np.int64), c_req, vals, sizes)
+                )
+        back = (
+            bus.exchange_grouped(replies) if grouped else bus.exchange(replies)
+        )
+        for st in ranks:
+            c_rep, t_rep, s_rep = back.inbox(st.rank)
+            c_rep = np.asarray(c_rep, dtype=np.int64)
+            st.rep_tot[c_rep] = np.asarray(t_rep, dtype=np.float64)
+            st.rep_size[c_rep] = np.asarray(s_rep, dtype=np.int64)
+
+    # -------------------------------------------------------------- #
+    # FIND_BEST (Algorithm 4 lines 6-9)
+    # -------------------------------------------------------------- #
+
+    def find_best(self, sim, partition, ranks, m, resolution):
+        prof = sim.profiler
+        two_m2 = 2.0 * m * m
+        best_gain: list[np.ndarray] = []
+        best_comm: list[np.ndarray] = []
+        for st in ranks:
+            n_local = st.owned.size
+            mu = np.zeros(n_local, dtype=np.float64)
+            chat = st.community.copy()
+            ul, c, w = st.out_ul, st.out_c, st.out_w
+            prof.add_ops(st.rank, ul.size)
+            if n_local == 0 or ul.size == 0:
+                best_gain.append(mu)
+                best_comm.append(chat)
+                continue
+            cu = st.community[ul]
+            ku = st.strength[ul]
+            sigma = st.rep_tot[c]
+            is_home = c == cu
+            # Same expressions and evaluation order as the hash backend's
+            # _find_best -- spelled with in-place/masked ufuncs (each step
+            # still rounds identically), which halves the temporaries on the
+            # hot path.
+            np.subtract(sigma, ku, out=sigma, where=is_home)  # sigma_eff
+            w_eff = w.copy()
+            np.subtract(
+                w_eff, st.self_adj[ul], out=w_eff, where=is_home
+            )
+            np.multiply(sigma, resolution, out=sigma)
+            np.multiply(sigma, ku, out=sigma)
+            np.divide(sigma, two_m2, out=sigma)
+            np.divide(w_eff, m, out=w_eff)
+            np.subtract(w_eff, sigma, out=w_eff)
+            gain = w_eff
+
+            sigma_home_all = st.rep_tot[st.community] - st.strength
+            stay = -resolution * sigma_home_all * st.strength / two_m2
+            stay[ul[is_home]] = gain[is_home]
+
+            cand_size = st.rep_size[c]
+            home_size = st.rep_size[cu]
+            blocked = (cand_size == 1) & (home_size == 1) & (c > cu)
+
+            # Entries are sorted by (u_local, c); the first entry of a
+            # segment that attains the segment maximum is therefore the
+            # smallest community id among the maxima -- the hash path's
+            # lexsort tie-break, without the lexsort.  Masked entries are
+            # -inf, which finite gains never are, so the -inf test replaces
+            # a separately materialized feasibility mask.
+            masked = np.where(is_home, -np.inf, gain)
+            np.copyto(masked, -np.inf, where=blocked)
+            starts = st.out_starts
+            seg_max = np.maximum.reduceat(masked, starts)
+            idx = self._indices(ul.size)
+            cond = masked == seg_max[st.out_seg]
+            cond &= masked != -np.inf
+            hit = np.where(cond, idx, np.int32(ul.size))
+            first = np.minimum.reduceat(hit, starts)
+            valid = first < ul.size
+            sel = first[valid]
+            usel = ul[sel]
+            mu[usel] = gain[sel] - stay[usel]
+            chat[usel] = c[sel]
+            best_gain.append(mu)
+            best_comm.append(chat)
+        return best_gain, best_comm
+
+    # -------------------------------------------------------------- #
+    # MODULARITY (Algorithm 4 lines 17-25)
+    # -------------------------------------------------------------- #
+
+    def compute_modularity(self, sim, partition, ranks, m, resolution):
+        bus = sim.bus
+        prof = sim.profiler
+        num_ranks = partition.num_ranks
+        outboxes = []
+        for st in ranks:
+            prof.add_ops(st.rank, st.out_ul.size)
+            if st.out_ul.size:
+                home = st.out_c == st.community[st.out_ul]
+                c_h, w_h = st.out_c[home], st.out_w[home]
+            else:
+                c_h = np.empty(0, dtype=np.int64)
+                w_h = np.empty(0, dtype=np.float64)
+            # Pregroup per destination: a handful of boolean scans beats the
+            # bus's per-record argsort, and within-destination arrival order
+            # (hence every downstream fold) is unchanged.
+            dest = partition.owner(c_h)
+            parts = []
+            for d in range(num_ranks):
+                idx = np.flatnonzero(dest == d)
+                parts.append((c_h[idx], w_h[idx]))
+            outboxes.append(parts)
+        result = bus.exchange_grouped(outboxes)
+        partials = []
+        two_m = 2.0 * m
+        for st in ranks:
+            c_in, w_in = result.inbox(st.rank)
+            c_in = np.asarray(c_in, dtype=np.int64)
+            if c_in.size:
+                acc = np.bincount(
+                    partition.to_local(c_in),
+                    weights=np.asarray(w_in, dtype=np.float64),
+                    minlength=st.owned.size,
+                )
+            else:
+                acc = np.zeros(st.owned.size, dtype=np.float64)
+            prof.add_ops(st.rank, c_in.size + st.owned.size)
+            partials.append(
+                float(
+                    (acc / two_m).sum()
+                    - resolution * ((st.tot / two_m) ** 2).sum()
+                )
+            )
+        return float(bus.allreduce_sum(partials))
+
+    # -------------------------------------------------------------- #
+    # GRAPH RECONSTRUCTION (Algorithm 5)
+    # -------------------------------------------------------------- #
+
+    def reconstruct(self, sim, partition, ranks, config):
+        bus = sim.bus
+        prof = sim.profiler
+        used = bus.allgather([np.unique(st.community) for st in ranks])
+        new_ids = (
+            np.unique(np.concatenate(used)) if used else np.empty(0, np.int64)
+        )
+        n_new = int(new_ids.size)
+        new_partition = ModuloPartition(n_new, partition.num_ranks)
+
+        labels = np.empty(partition.num_vertices, dtype=np.int64)
+        for st in ranks:
+            labels[st.owned] = np.searchsorted(new_ids, st.community)
+
+        outboxes = []
+        for st in ranks:
+            prof.add_ops(st.rank, st.out_ul.size)
+            if st.out_ul.size:
+                src_comm = np.searchsorted(new_ids, st.community[st.out_ul])
+                dst_comm = np.searchsorted(new_ids, st.out_c)
+            else:
+                src_comm = np.empty(0, dtype=np.int64)
+                dst_comm = np.empty(0, dtype=np.int64)
+            outboxes.append(
+                (new_partition.owner(dst_comm), src_comm, dst_comm, st.out_w)
+            )
+        result = bus.exchange(outboxes)
+
+        new_states = []
+        for rank in range(partition.num_ranks):
+            v_in, u_in, w_in = result.inbox(rank)
+            prof.add_ops(rank, np.asarray(v_in).size)
+            new_states.append(
+                _VectorRankState(
+                    rank,
+                    new_partition,
+                    np.asarray(v_in, dtype=np.int64),
+                    np.asarray(u_in, dtype=np.int64),
+                    np.asarray(w_in, dtype=np.float64),
+                    sanitizer=sim.sanitizer,
+                )
+            )
+        return new_states, new_partition, labels

@@ -179,6 +179,109 @@ class MessageBus:
             )
         return ExchangeResult(columns=inboxes)
 
+    def exchange_grouped(
+        self, outboxes: list[list[tuple[np.ndarray, ...]] | None]
+    ) -> ExchangeResult:
+        """One alltoallv superstep from caller-pregrouped outboxes.
+
+        ``outboxes[src]`` is a list of ``num_ranks`` column tuples -- the
+        records ``src`` sends to each destination, already grouped -- or
+        ``None`` for a rank skipping the superstep.  Semantics, traffic
+        accounting and failure injection are identical to :meth:`exchange`;
+        the only difference is that the per-record destination argsort is
+        skipped, because the caller already paid for the grouping (typically
+        once per level, for a phase whose destination pattern is static --
+        the vectorized backend's STATE PROPAGATION resends the same in-edge
+        structure every inner iteration).
+        """
+        if len(outboxes) != self.num_ranks:
+            raise ValueError("one outbox per rank required")
+        sanitizer = self.sanitizer
+        if sanitizer.enabled:
+            phase = (
+                self.profiler.current_phase if self.profiler is not None else None
+            )
+            sanitizer.check_exchange_participation(outboxes, phase=phase)
+        arity = None
+        for box in outboxes:
+            if box is None:
+                continue
+            if len(box) != self.num_ranks:
+                raise ValueError("grouped outbox must list every destination")
+            for part in box:
+                if part:
+                    arity = len(part)
+                    break
+            if arity is not None:
+                break
+        if arity is None:
+            empty = (np.empty(0, dtype=np.int64),)
+            return ExchangeResult(columns=[empty] * self.num_ranks)
+
+        tracer = self.profiler.tracer if self.profiler is not None else None
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            sent_records = [0] * self.num_ranks
+            sent_bytes = 0
+            sent_messages = 0
+
+        per_dest_parts: list[list[tuple[np.ndarray, ...]]] = [
+            [] for _ in range(self.num_ranks)
+        ]
+        for src, box in enumerate(outboxes):
+            if box is None:
+                continue
+            records = 0
+            touched = 0
+            for d, part in enumerate(box):
+                if len(part) != arity:
+                    raise ValueError("all outboxes must have the same arity")
+                n = int(np.asarray(part[0]).shape[0])
+                for col in part[1:]:
+                    if np.asarray(col).shape[0] != n:
+                        raise ValueError("columns must match part length")
+                if n == 0:
+                    continue
+                per_dest_parts[d].append(part)
+                records += n
+                touched += 1
+            if records and self.profiler is not None:
+                self.profiler.add_send(
+                    src,
+                    records=records,
+                    nbytes=records * arity * _BYTES_PER_WORD,
+                    messages=touched,
+                )
+            if tracing:
+                sent_records[src] += records
+                sent_bytes += records * arity * _BYTES_PER_WORD
+                sent_messages += touched
+
+        inboxes: list[tuple[np.ndarray, ...]] = []
+        for d in range(self.num_ranks):
+            parts = per_dest_parts[d]
+            if parts:
+                cols = tuple(
+                    np.concatenate([p[i] for p in parts]) for i in range(arity)
+                )
+            else:
+                cols = tuple(np.empty(0, dtype=np.int64) for _ in range(arity))
+            if self.reorder_rng is not None and cols[0].size > 1:
+                perm = self.reorder_rng.permutation(cols[0].size)
+                cols = tuple(c[perm] for c in cols)
+            inboxes.append(cols)
+        if self.profiler is not None:
+            self.profiler.add_superstep()
+        if tracing:
+            tracer.superstep(
+                self.profiler.current_phase,
+                records=sum(sent_records),
+                nbytes=sent_bytes,
+                messages=sent_messages,
+                per_rank_records=sent_records,
+            )
+        return ExchangeResult(columns=inboxes)
+
     # -------------------------------------------------------------- #
     # Collectives (simulated; cost charged as one collective each)
     # -------------------------------------------------------------- #

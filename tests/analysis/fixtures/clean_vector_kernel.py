@@ -1,0 +1,40 @@
+"""Known-good kernel: the vectorized backend's array-state idiom.
+
+The vector backend keeps CSR arrays as the level's ground truth and exposes
+them through duck-typed ``in_table`` / ``out_table`` *views* for the tracer
+and sanitizer.  Rebuilding those views at state construction -- including
+inside the RECONSTRUCTION loop that also does Out_Table-flavored REFINE
+work -- is not an In_Table mutation; only genuine mid-level writebacks are.
+The in-table-mutation checker must stay silent on every pattern here.
+"""
+
+
+class _ArrayTables:
+    __slots__ = ("in_table", "out_table")
+
+    def __init__(self, state):
+        # Attribute writes on a fresh view object are construction, not
+        # mutation of a live level's In_Table.
+        self.in_table = state
+        self.out_table = state
+
+
+def rebuild_states_after_reconstruction(sim, partition, ranks, collected):
+    new_states = []
+    for st in ranks:
+        u, c, w = st.tables.out_entries()  # REFINE marker in scope
+        state = collected[st.rank]
+        state.tables = _ArrayTables(state)
+        new_states.append(state)
+    return new_states
+
+
+def refine_over_arrays(sim, ranks, m, resolution):
+    for st in ranks:
+        u, c, w = st.tables.out_entries()
+        # Array-op REFINE: in-place ufuncs over scratch arrays, no table
+        # writes at all.
+        sigma = st.rep_tot[c]
+        sigma *= resolution
+        sigma /= 2.0 * m * m
+        st.out_w = w - sigma

@@ -60,6 +60,48 @@ class TestPackKey:
         with pytest.raises(ValueError, match=r"min -9"):
             pack_key(np.array([-9, 2], dtype=np.int64), np.array([0, 0], dtype=np.int64))
 
+    def test_negative_float_ids_raise(self):
+        # Regression: float arrays used to bypass the signedinteger-only
+        # negativity check and wrap silently under the uint64 cast.
+        with pytest.raises(ValueError, match="t1 holds negative"):
+            pack_key(np.array([-1.0]), np.array([0.0]))
+        with pytest.raises(ValueError, match="t2 holds negative"):
+            pack_key(np.array([3.0]), np.array([-7.0]))
+
+    def test_fractional_float_ids_raise(self):
+        with pytest.raises(ValueError, match="non-integral float"):
+            pack_key(np.array([1.5]), np.array([0.0]))
+
+    def test_integral_float_ids_match_int_packing(self):
+        ints = pack_key(np.array([7, 9], dtype=np.int64), np.array([3, 4], dtype=np.int64))
+        floats = pack_key(np.array([7.0, 9.0]), np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(ints, floats)
+
+    def test_huge_float_ids_raise(self):
+        with pytest.raises(ValueError, match=r"2\^64"):
+            pack_key(np.array([2.0 ** 64]), np.array([0.0]), shift=1)
+
+    def test_non_numeric_dtype_raises(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            pack_key(np.array(["3"]), np.array(["4"]))
+
+    def test_int32_max_boundary_roundtrips(self):
+        # 2^31 - 1 is the largest id an int32 pipeline can produce; it must
+        # pack and unpack exactly on both sides of the default 32-bit field.
+        v = np.array([(1 << 31) - 1], dtype=np.int32)
+        t1, t2 = unpack_key(pack_key(v, v))
+        assert int(t1[0]) == (1 << 31) - 1
+        assert int(t2[0]) == (1 << 31) - 1
+
+    def test_uint32_width_boundary(self):
+        # 2^32 - 1 still fits the default low field; 2^32 must be rejected,
+        # not wrapped into field 0.
+        top = np.array([(1 << 32) - 1], dtype=np.uint64)
+        t1, t2 = unpack_key(pack_key(np.array([0], dtype=np.uint64), top))
+        assert int(t2[0]) == (1 << 32) - 1
+        with pytest.raises(ValueError, match="t2 does not fit"):
+            pack_key(np.array([0], dtype=np.uint64), np.array([1 << 32], dtype=np.uint64))
+
     def test_empty_sentinel_collision_raises(self):
         t1 = np.array([(1 << 32) - 1], dtype=np.uint64)
         t2 = np.array([(1 << 32) - 1], dtype=np.uint64)

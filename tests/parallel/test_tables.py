@@ -34,6 +34,26 @@ class TestRankTables:
         assert c[order].tolist() == [9, 9]
         assert w[order].tolist() == [6.0, 4.0]
 
+    def test_read_out_is_canonically_ordered(self):
+        # Regression: entries used to come back in hash-slot order, which
+        # depends on the hash family and capacity -- downstream float folds
+        # (strength, MODULARITY, RECONSTRUCTION) then differed in the last
+        # ulp between hash functions.  Read-out must be (key-)sorted.
+        rng = np.random.default_rng(5)
+        v = rng.integers(0, 200, 500)
+        u = rng.integers(0, 200, 500)
+        w = rng.random(500)
+        for hf in ("fibonacci", "linear_congruential", "bitwise", "concatenated"):
+            rt = RankTables(hash_function=hf)
+            rt.add_in_edges(v, u, w)
+            rt.accumulate_out(v, u, w)
+            iv, iu, _ = rt.in_edges()
+            ov, ou, _ = rt.out_entries()
+            ikeys = (iv << 32) | iu
+            okeys = (ov << 32) | ou
+            assert np.all(ikeys[1:] > ikeys[:-1]), hf
+            assert np.all(okeys[1:] > okeys[:-1]), hf
+
     def test_reset_out_preserves_in(self):
         rt = RankTables()
         rt.add_in_edges(np.array([1]), np.array([0]), np.array([1.0]))
