@@ -34,8 +34,12 @@ The four checkers built on the artifacts:
 
 ``blocking-call-under-lock``
     Known-blocking work (``detect_communities`` / ``incremental_louvain``,
-    ``sleep``, socket/file I/O on file-ish receivers) while holding a lock
-    serializes every other thread behind a slow operation.
+    ``sleep``, socket/file I/O on file-ish receivers, and multiprocessing
+    rendezvous -- ``Barrier.wait`` / ``Queue.get``/``put`` / ``join`` on
+    barrier/queue/process-ish receivers) while holding a lock serializes
+    every other thread behind a slow operation.  A barrier wait under a
+    lock is worse still: if a peer needs that lock to reach its own wait,
+    the barrier never fills.
 
 ``lock-order-inversion``
     The per-module lock acquisition graph (edge A -> B when B is acquired
@@ -109,6 +113,17 @@ _FILEISH_METHODS = frozenset(
     {"read", "readline", "readlines", "write", "writelines", "flush",
      "close", "recv", "send", "sendall"}
 )
+
+#: Multiprocessing rendezvous points: receivers that name a barrier, an
+#: IPC queue, or a worker process/thread, paired with the methods that
+#: block on a peer.  A superstep barrier wait under a lock deadlocks the
+#: whole rank fleet if any peer needs that lock to reach its own wait.
+_IPC_RECEIVERS = frozenset(
+    {"barrier", "_barrier", "queue", "_queue", "result_queue",
+     "trace_queue", "proc", "_proc", "process", "worker", "thread",
+     "_thread"}
+)
+_IPC_METHODS = frozenset({"wait", "get", "put", "join"})
 
 #: Methods whose mutations are construction, not shared-state access
 #: (happens-before publication of ``self``).
@@ -641,6 +656,12 @@ def _blocking_name(call: ast.Call) -> str | None:
         len(chain) >= 2
         and tail in _FILEISH_METHODS
         and chain[-2] in _FILEISH_RECEIVERS
+    ):
+        return ".".join(p for p in chain if p != "*")
+    if (
+        len(chain) >= 2
+        and tail in _IPC_METHODS
+        and chain[-2] in _IPC_RECEIVERS
     ):
         return ".".join(p for p in chain if p != "*")
     return None

@@ -23,6 +23,8 @@ Cell parameter vocabulary (factor fields merged under the template; see
 ``work_scale``      float, or ``"paper"`` (Table I extrapolation)
 ``work_edges``      target edge count; ``work_scale`` becomes
                     ``work_edges / proxy edges`` (weak-scaling sweeps)
+``execution``       ``simulated`` | ``process`` (true SPMD workers;
+                    ``parallel`` variant only, implies vector backend)
 ``schedule_p1/p2``  Eq.-7 schedule override
 *anything else*     forwarded as algorithm config (``max_inner``, ...)
 ==================  =====================================================
@@ -96,6 +98,12 @@ class RepMetrics:
     phases: dict[str, float] = field(default_factory=dict)
     #: Final membership array; populated only with ``keep_membership=True``.
     membership: Any = None
+    #: Raw algorithm result; populated only with ``keep_raw=True`` (lets
+    #: wrappers project structure the summary drops, e.g. the Fig. 8
+    #: per-level/per-iteration modeled breakdowns).
+    raw: Any = None
+    #: The cell's resolved work-scale multiplier (None when no scaling).
+    work_scale: float | None = None
 
 
 @dataclass
@@ -123,7 +131,8 @@ class MatrixResult:
 
 _RUNNER_KEYS = {
     "variant", "graph", "ranks", "seed", "machine", "threads", "nodes",
-    "backend", "work_scale", "work_edges", "schedule_p1", "schedule_p2",
+    "backend", "execution", "work_scale", "work_edges",
+    "schedule_p1", "schedule_p2",
 }
 
 
@@ -194,13 +203,26 @@ def _run_once(
     graph_spec: dict[str, Any],
     *,
     keep_membership: bool,
+    keep_raw: bool = False,
 ) -> RepMetrics:
     """One repetition: run the variant, project metrics off the trace."""
     from ..observability import Tracer, iteration_counts, phase_durations
 
     p = cell.params
     variant = str(p.get("variant", "parallel"))
-    backend = str(p.get("backend", "hash"))
+    execution = str(p.get("execution", "simulated"))
+    backend = str(
+        p.get("backend", "vector" if execution == "process" else "hash")
+    )
+    if execution not in ("simulated", "process"):
+        raise BenchConfigError(
+            f"unknown execution {execution!r} (use simulated/process)"
+        )
+    if execution == "process" and variant != "parallel":
+        raise BenchConfigError(
+            "execution = 'process' requires variant = 'parallel'; exclude "
+            "the combination for other variants"
+        )
     ranks = int(p.get("ranks", 4))
     seed = int(p.get("seed", 0))
     machine = _resolve_machine(p.get("machine"))
@@ -266,6 +288,8 @@ def _run_once(
     )
     if variant != "sequential":
         kwargs["backend"] = backend
+        if variant == "parallel":
+            kwargs["execution"] = execution
         kwargs.update(extras)
         if schedule is not None:
             kwargs["schedule"] = schedule
@@ -290,6 +314,8 @@ def _run_once(
         num_iterations=sum(iteration_counts(tracer.events).values()) or None,
         phases=phase_durations(tracer.events, top=True),
         membership=summary.membership if keep_membership else None,
+        raw=summary.raw if keep_raw else None,
+        work_scale=work_scale,
     )
     if machine is not None and variant in ("parallel", "naive"):
         from ..harness import sequential_reference_seconds
@@ -317,6 +343,7 @@ def run_matrix(
     config: BenchConfig,
     *,
     keep_membership: bool = False,
+    keep_raw: bool = False,
     progress: Callable[[str], None] | None = None,
 ) -> MatrixResult:
     """Run every cell of the matrix; return raw per-repetition results.
@@ -373,7 +400,8 @@ def run_matrix(
         if not result.timed_out:
             for _ in range(config.repetitions):
                 rep = _run_once(
-                    cell, graph, graph_spec, keep_membership=keep_membership
+                    cell, graph, graph_spec,
+                    keep_membership=keep_membership, keep_raw=keep_raw,
                 )
                 result.reps.append(rep)
                 if over_budget():

@@ -56,9 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--ranks", type=int, default=4, help="simulated rank count")
     detect.add_argument(
-        "--backend", choices=["hash", "vector"], default="hash",
+        "--backend", choices=["hash", "vector"], default=None,
         help="parallel data-plane: paper-faithful hash tables or the "
-        "numpy CSR kernels (identical output, ~10x faster)",
+        "numpy CSR kernels (identical output, ~10x faster); defaults to "
+        "hash, or vector under --execution process",
+    )
+    detect.add_argument(
+        "--execution", choices=["simulated", "process"], default="simulated",
+        help="run the parallel algorithm in-process (simulated ranks) or "
+        "as true SPMD worker processes over shared memory "
+        "(--algorithm parallel only; bitwise-identical results)",
     )
     detect.add_argument(
         "--machine", choices=["p7ih", "bgq"], default=None,
@@ -164,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized kernels against them)",
     )
     trc_cmp.add_argument(
+        "--execution", choices=["simulated", "process"], default=None,
+        help="re-run the parallel-family benchmarks under this runtime "
+        "(--execution process is the zero-tolerance SPMD-equivalence gate "
+        "for the multi-process runtime; implies --backend vector)",
+    )
+    trc_cmp.add_argument(
         "--perturb-p1", type=float, default=1.0, metavar="FACTOR",
         help="self-test knob: multiply the Eq.-7 schedule's p1 by FACTOR "
         "for the current run (the gate must then report drift)",
@@ -212,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument("--ranks", type=int, default=4, help="default simulated ranks")
     srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--execution", choices=["simulated", "process"], default="simulated",
+        help="default runtime for detection jobs: in-process simulated "
+        "ranks or true SPMD worker processes over shared memory",
+    )
     srv.add_argument(
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help="default per-job wall-clock budget (default: unlimited)",
@@ -389,12 +407,21 @@ def _add_tolerance_flags(parser: argparse.ArgumentParser) -> None:
         "--records-tol", type=float, default=None, metavar="FRAC",
         help="allowed relative superstep record/byte drift (default 0.02)",
     )
+    parser.add_argument(
+        "--exact", action="store_true",
+        help="zero out every tolerance: the fingerprints must match "
+        "bitwise (individual --*-tol flags still apply on top)",
+    )
 
 
 def _tolerances_from_args(args):
+    import dataclasses
+
     from .observability.golden import Tolerances
 
     tol_kwargs = {}
+    if args.exact:
+        tol_kwargs = {f.name: 0 for f in dataclasses.fields(Tolerances)}
     if args.iterations_tol is not None:
         tol_kwargs["iterations_abs"] = args.iterations_tol
     if args.movers_tol is not None:
@@ -425,8 +452,14 @@ def _cmd_detect(args) -> int:
     if args.sanitize and args.algorithm not in ("parallel", "naive"):
         print("--sanitize requires --algorithm parallel|naive", file=sys.stderr)
         return 2
-    if args.backend != "hash" and args.algorithm not in ("parallel", "naive"):
+    if args.backend is not None and args.algorithm not in ("parallel", "naive"):
         print("--backend requires --algorithm parallel|naive", file=sys.stderr)
+        return 2
+    if args.execution == "process" and args.algorithm != "parallel":
+        print(
+            "--execution process requires --algorithm parallel",
+            file=sys.stderr,
+        )
         return 2
 
     graph = read_edge_list(args.input)
@@ -456,11 +489,14 @@ def _cmd_detect(args) -> int:
         raw = None
     else:
         try:
-            backend_kwargs = (
-                {"backend": args.backend}
-                if args.algorithm in ("parallel", "naive")
-                else {}
-            )
+            backend_kwargs = {}
+            if args.algorithm in ("parallel", "naive"):
+                default_backend = (
+                    "vector" if args.execution == "process" else "hash"
+                )
+                backend_kwargs["backend"] = args.backend or default_backend
+                if args.algorithm == "parallel":
+                    backend_kwargs["execution"] = args.execution
             summary = detect_communities(
                 graph, algorithm=args.algorithm, num_ranks=args.ranks,
                 machine=machine, seed=args.seed, tracer=tracer,
@@ -782,7 +818,7 @@ def _cmd_trace(args) -> int:
         try:
             drifts = compare_golden(
                 spec, path, tol, perturb_p1=args.perturb_p1,
-                backend=args.backend,
+                backend=args.backend, execution=args.execution,
             )
         except OSError as exc:
             print(
@@ -826,6 +862,7 @@ def _cmd_serve(args) -> int:
         store_capacity=args.store_capacity,
         num_ranks=args.ranks,
         seed=args.seed,
+        execution=args.execution,
         default_timeout=args.job_timeout,
         default_max_retries=args.max_retries,
         sink=sink,

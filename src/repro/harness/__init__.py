@@ -2,6 +2,8 @@
 
 from .experiments import (
     UK2007_LITERATURE,
+    fig8_iteration_breakdown,
+    fig8_level_breakdown,
     paper_work_scale,
     run_fig2,
     run_fig4,
@@ -30,6 +32,8 @@ __all__ = [
     "run_fig7_threads",
     "run_fig7_nodes",
     "run_fig8",
+    "fig8_level_breakdown",
+    "fig8_iteration_breakdown",
     "run_table4",
     "run_fig9_weak",
     "run_fig9_strong",

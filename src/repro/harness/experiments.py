@@ -526,6 +526,51 @@ class Fig8Result:
     modularities: list[float]
 
 
+def fig8_level_breakdown(
+    result,
+    *,
+    machine: MachineModel = P7IH,
+    nodes: int,
+    work_scale: float = 1.0,
+) -> list[dict[str, float]]:
+    """Fig. 8a projection: per outer level, modeled seconds per top phase."""
+    outer_levels: list[dict[str, float]] = []
+    for lv in result.levels:
+        phases: dict[str, float] = {}
+        for name, counters in lv.phase_counters.items():
+            top = name.split("/", 1)[0]
+            phases[top] = phases.get(top, 0.0) + model_phase_time(
+                counters, machine,
+                threads=machine.threads_per_node, nodes=nodes,
+                work_scale=work_scale,
+            )
+        outer_levels.append(phases)
+    return outer_levels
+
+
+def fig8_iteration_breakdown(
+    result,
+    *,
+    machine: MachineModel = P7IH,
+    nodes: int,
+    work_scale: float = 1.0,
+) -> list[dict[str, float]]:
+    """Fig. 8b projection: level-0 per-inner-iteration modeled seconds."""
+    inner_iters: list[dict[str, float]] = []
+    if result.levels:
+        for it in result.levels[0].iterations:
+            phases: dict[str, float] = {}
+            for name, counters in it.phase_counters.items():
+                leaf = name.split("/")[-1]
+                phases[leaf] = phases.get(leaf, 0.0) + model_phase_time(
+                    counters, machine,
+                    threads=machine.threads_per_node, nodes=nodes,
+                    work_scale=work_scale,
+                )
+            inner_iters.append(phases)
+    return inner_iters
+
+
 def run_fig8(
     *,
     graph_name: str = "UK-2007",
@@ -541,29 +586,16 @@ def run_fig8(
     for nodes in node_counts:
         result = parallel_louvain(g, num_ranks=nodes)
         mods.append(result.final_modularity)
-        outer_levels = []
-        for lv in result.levels:
-            phases: dict[str, float] = {}
-            for name, counters in lv.phase_counters.items():
-                top = name.split("/", 1)[0]
-                phases[top] = phases.get(top, 0.0) + model_phase_time(
-                    counters, machine,
-                    threads=machine.threads_per_node, nodes=nodes, work_scale=ws,
-                )
-            outer_levels.append(phases)
-        outer_all.append(outer_levels)
-        inner_iters = []
-        if result.levels:
-            for it in result.levels[0].iterations:
-                phases = {}
-                for name, counters in it.phase_counters.items():
-                    leaf = name.split("/")[-1]
-                    phases[leaf] = phases.get(leaf, 0.0) + model_phase_time(
-                        counters, machine,
-                        threads=machine.threads_per_node, nodes=nodes, work_scale=ws,
-                    )
-                inner_iters.append(phases)
-        inner_all.append(inner_iters)
+        outer_all.append(
+            fig8_level_breakdown(
+                result, machine=machine, nodes=nodes, work_scale=ws
+            )
+        )
+        inner_all.append(
+            fig8_iteration_breakdown(
+                result, machine=machine, nodes=nodes, work_scale=ws
+            )
+        )
     return Fig8Result(
         node_counts=node_counts,
         outer_breakdown=outer_all,

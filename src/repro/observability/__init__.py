@@ -70,7 +70,14 @@ from .report import (
     format_table_stats,
     run_header,
 )
-from .sinks import JsonlWriterSink, ListSink, NullSink, RotatingJsonlSink, TraceSink
+from .sinks import (
+    JsonlWriterSink,
+    ListSink,
+    NullSink,
+    QueueTraceSink,
+    RotatingJsonlSink,
+    TraceSink,
+)
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -92,6 +99,7 @@ __all__ = [
     "RotatingJsonlSink",
     "ListSink",
     "NullSink",
+    "QueueTraceSink",
     "TRACE_FORMATS",
     "export_trace",
     "write_jsonl",

@@ -534,6 +534,7 @@ def run_spec(
     sink: Any | None = None,
     perturb_p1: float = 1.0,
     backend: str | None = None,
+    execution: str | None = None,
 ) -> "Any":
     """Run one benchmark; returns the tracer (closed if sink-backed).
 
@@ -547,6 +548,14 @@ def run_spec(
     baseline takes no backend and ignores the override.  Comparing a vector
     re-run against the hash-recorded goldens is the convergence-equivalence
     gate for the vectorized backend.
+
+    ``execution`` ("simulated" or "process") selects the runtime for the
+    parallel-family benchmarks (``algorithm="parallel"`` and the dynamic
+    warm-start specs); sequential and naive runs ignore it, the same way
+    they ignore ``backend``.  ``execution="process"`` implies
+    ``backend="vector"`` unless a backend was given explicitly, and
+    comparing a process re-run against the recorded goldens at zero
+    tolerance is the SPMD-equivalence gate for the multi-process runtime.
     """
     from ..parallel import ExponentialSchedule, detect_communities
     from .tracer import Tracer
@@ -555,9 +564,14 @@ def run_spec(
     if spec.algorithm == "parallel" and not math.isclose(perturb_p1, 1.0):
         base = ExponentialSchedule()
         schedule = ExponentialSchedule(p1=base.p1 * perturb_p1, p2=base.p2)
+    parallel_family = spec.algorithm == "parallel" or spec.dynamic is not None
     backend_kwargs: dict[str, Any] = {}
     if backend is not None and spec.algorithm != "sequential":
         backend_kwargs["backend"] = backend
+    if execution is not None and parallel_family:
+        backend_kwargs["execution"] = execution
+        if execution == "process":
+            backend_kwargs.setdefault("backend", "vector")
     graph = spec.build_graph()
     tracer = Tracer(sink=sink, buffer=sink is None)
     if spec.dynamic is not None:
@@ -614,12 +628,15 @@ def compare_golden(
     *,
     perturb_p1: float = 1.0,
     backend: str | None = None,
+    execution: str | None = None,
 ) -> list[Drift]:
     """Re-run ``spec`` and diff its fingerprint against the golden at ``path``."""
     from .exporters import iter_jsonl
 
     golden_fp = fingerprint_events(iter_jsonl(path))
-    tracer = run_spec(spec, perturb_p1=perturb_p1, backend=backend)
+    tracer = run_spec(
+        spec, perturb_p1=perturb_p1, backend=backend, execution=execution
+    )
     current_fp = fingerprint_events(tracer.events)
     return compare_fingerprints(golden_fp, current_fp, tol)
 

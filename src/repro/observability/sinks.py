@@ -33,6 +33,7 @@ __all__ = [
     "RotatingJsonlSink",
     "ListSink",
     "NullSink",
+    "QueueTraceSink",
 ]
 
 
@@ -201,6 +202,39 @@ class ListSink:
 
     def close(self) -> None:
         pass
+
+
+class QueueTraceSink:
+    """Streams events (as plain dicts) into a ``multiprocessing`` queue.
+
+    The process execution mode gives this sink to the tracing worker's
+    ``Tracer(sink=..., buffer=False)``: every event crosses to the parent as
+    its ``to_dict()`` form the moment it is emitted, the parent replays the
+    stream into the caller's tracer
+    (:func:`~repro.observability.events.TraceEvent.from_dict`), and nothing
+    accumulates in the worker.  ``close()`` enqueues a single ``None``
+    sentinel so the parent knows the stream is complete.
+    """
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+        self._closed = False
+        self.num_events = 0
+
+    def write(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise ValueError("queue trace sink is closed")
+        self._queue.put(event.to_dict())
+        self.num_events += 1
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._queue.put(None)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
 
 class NullSink:

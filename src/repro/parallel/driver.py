@@ -114,6 +114,9 @@ def detect_communities(
         raises :class:`~repro.analysis.InvariantViolation`.
     config_overrides:
         Extra :class:`ParallelLouvainConfig` fields (``max_inner`` etc.).
+        ``execution="process"`` selects the true multi-process SPMD runtime
+        (``algorithm="parallel"`` only; implies ``backend="vector"`` unless
+        one was chosen explicitly).
     """
     if trace_stream:
         if trace_path is None:
@@ -152,6 +155,15 @@ def detect_communities(
 
     if algorithm not in ("parallel", "naive"):
         raise ValueError(f"unknown algorithm {algorithm!r}")
+    if config_overrides.get("execution") == "process":
+        if algorithm != "parallel":
+            raise TypeError(
+                "execution='process' is only supported for algorithm='parallel'"
+            )
+        # Process mode requires flat CSR rank state; pick the vector backend
+        # unless the caller chose one explicitly (a bad explicit choice gets
+        # the config's own descriptive error).
+        config_overrides.setdefault("backend", "vector")
     cfg = ParallelLouvainConfig(
         num_ranks=num_ranks,
         schedule=schedule if schedule is not None else ExponentialSchedule(),

@@ -78,6 +78,12 @@ class ParallelLouvainConfig:
     #: (:mod:`repro.parallel.vectorized`), converging identically but an
     #: order of magnitude faster.
     backend: str = "hash"
+    #: Execution mode: ``"simulated"`` runs every rank in this process over
+    #: the simulated bus; ``"process"`` forks one OS process per rank with
+    #: rank state in shared memory and byte-level alltoallv
+    #: (:mod:`repro.runtime.process`) -- same algorithm, bit-identical
+    #: trajectory, real cores.  Process mode requires the vector backend.
+    execution: str = "simulated"
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1:
@@ -88,6 +94,17 @@ class ParallelLouvainConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose 'hash' "
                 "(paper-faithful hash tables) or 'vector' (CSR arrays)"
+            )
+        if self.execution not in ("simulated", "process"):
+            raise ValueError(
+                f"unknown execution {self.execution!r}; choose 'simulated' "
+                "(in-process SPMD simulation) or 'process' (one OS process "
+                "per rank over shared memory)"
+            )
+        if self.execution == "process" and self.backend != "vector":
+            raise ValueError(
+                "execution='process' requires backend='vector': rank state "
+                "must be flat CSR arrays to live in shared memory"
             )
 
 
@@ -404,10 +421,10 @@ def _apply_moves(
     bus = sim.bus
     prof = sim.profiler
     outboxes = []
-    total_moved = 0
+    moved_counts = []
     for st, mu, chat in zip(ranks, best_gain, best_comm):
         movers = np.flatnonzero((mu > dq_hat) & (mu > min_gain) & (chat != st.community))
-        total_moved += int(movers.size)
+        moved_counts.append(int(movers.size))
         prof.add_ops(st.rank, movers.size)
         old_c = st.community[movers]
         new_c = chat[movers]
@@ -431,11 +448,9 @@ def _apply_moves(
             np.add.at(st.tot, local, d_upd.astype(np.float64))
             np.add.at(st.size, local, s_upd.astype(np.int64))
         prof.add_ops(st.rank, c_upd.size)
-    # The driver sums mover counts across all ranks, so this is already the
-    # global count (a real deployment allreduces it; the convergence test in
-    # the main loop is the consumer either way).
-    bus.barrier()
-    return total_moved
+    # The superstep's closing collective doubles as the global mover count:
+    # every rank needs it to take the same convergence branch.
+    return int(bus.allreduce_sum(moved_counts))
 
 
 def _compute_modularity(
@@ -501,10 +516,15 @@ def _reconstruct(
     n_new = int(new_ids.size)
     new_partition = ModuloPartition(n_new, partition.num_ranks)
 
-    # Per-level label array over *this* level's vertices.
+    # Per-level label array over *this* level's vertices.  Each rank renames
+    # its owned shard; the fragments are gathered so every rank (and the
+    # driver) holds the full dendrogram row.
+    frags = bus.side_gather(
+        [np.searchsorted(new_ids, st.community) for st in ranks]
+    )
     labels = np.empty(partition.num_vertices, dtype=np.int64)
-    for st in ranks:
-        labels[st.owned] = np.searchsorted(new_ids, st.community)
+    for rank in range(partition.num_ranks):
+        labels[partition.owned(rank)] = frags[rank]
 
     # Ship Out_Table entries as superedges to the owner of the destination
     # supervertex (Fig. 3's all-to-all).
@@ -522,22 +542,22 @@ def _reconstruct(
     result = bus.exchange(outboxes)
 
     new_states: list[_RankState] = []
-    for rank in range(partition.num_ranks):
-        v_in, u_in, w_in = result.inbox(rank)
+    for st in ranks:
+        v_in, u_in, w_in = result.inbox(st.rank)
         tables = RankTables(
             expected_in_edges=int(np.asarray(v_in).size) + 16,
             hash_function=config.hash_function,
             load_factor=config.load_factor,
             key_shift=config.key_shift,
             sanitizer=sim.sanitizer,
-            rank=rank,
+            rank=st.rank,
         )
         before = tables.in_table.probe_count
         tables.add_in_edges(
             v_in.astype(np.int64), u_in.astype(np.int64), w_in.astype(np.float64)
         )
-        prof.add_ops(rank, tables.in_table.probe_count - before)
-        new_states.append(_RankState(rank, new_partition, tables))
+        prof.add_ops(st.rank, tables.in_table.probe_count - before)
+        new_states.append(_RankState(st.rank, new_partition, tables))
     return new_states, new_partition, labels
 
 
@@ -740,40 +760,110 @@ def parallel_louvain(
         raise TypeError("pass either config or keyword overrides, not both")
     tracer = tracer if tracer is not None else NULL_TRACER
 
+    if config.execution == "process":
+        from ..runtime.process import process_louvain
+
+        return process_louvain(
+            graph,
+            config,
+            initial_membership=initial_membership,
+            tracer=tracer,
+            sanitize=sanitize,
+        )
+
     sim = Simulation.create(
         config.num_ranks, reorder_seed=config.reorder_seed, tracer=tracer,
         sanitize=sanitize,
     )
-    san = sim.sanitizer
     backend = _make_backend(config)
     partition = ModuloPartition(graph.num_vertices, config.num_ranks)
     ranks = backend.build_states(sim, partition, graph, config)
+
+    def level0_q() -> float:
+        return modularity_from_labels(
+            graph,
+            (
+                np.arange(graph.num_vertices, dtype=np.int64)
+                if initial_membership is None
+                else initial_membership
+            ),
+            resolution=config.resolution,
+        )
+
+    membership, level_labels, modularities, levels = _louvain_core(
+        sim,
+        partition,
+        backend,
+        ranks,
+        config,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        initial_membership=initial_membership,
+        level0_q=level0_q,
+        tracer=tracer,
+    )
+    return ParallelLouvainResult(
+        membership=membership,
+        level_labels=level_labels,
+        modularities=modularities,
+        levels=levels,
+        simulation=sim,
+        config=config,
+    )
+
+
+def _louvain_core(
+    sim: Simulation,
+    partition: ModuloPartition,
+    backend,
+    ranks: list,
+    config: ParallelLouvainConfig,
+    *,
+    num_vertices: int,
+    num_edges: int,
+    initial_membership: np.ndarray | None,
+    level0_q,
+    tracer: Tracer,
+) -> tuple[np.ndarray, list[np.ndarray], list[float], list[ParallelLevelStats]]:
+    """The shared level/iteration control plane (Algorithm 2 proper).
+
+    Runs identically under both execution modes: in simulated mode ``ranks``
+    holds all ``P`` rank states and ``sim.bus`` is the in-process
+    :class:`~repro.runtime.MessageBus`; in process mode every worker runs
+    this exact function over its single local rank state and a
+    :class:`~repro.runtime.shm.SharedMemoryBus`.  Every control-flow branch
+    below depends only on collective results (``m``, mover counts, ``Q``,
+    histogram thresholds, the gathered label fragments), which both buses
+    fold in identical ascending-rank order -- that is the whole bitwise
+    equivalence argument.
+
+    ``level0_q`` is a zero-argument callable returning the modularity of the
+    starting partition (lazy so the empty-graph early return never pays for
+    it; in process mode the parent precomputes the float once and workers
+    close over it).
+    """
+    san = sim.sanitizer
     if tracer.enabled:
         tracer.run_start(
             "parallel" if config.schedule is not None else "naive",
-            num_vertices=graph.num_vertices,
-            num_edges=graph.num_edges,
+            num_vertices=num_vertices,
+            num_edges=num_edges,
             num_ranks=config.num_ranks,
         )
     with sim.phase("INIT"):
         m = float(sim.bus.allreduce_sum([st.strength.sum() for st in ranks])) / 2.0
-        if initial_membership is not None and graph.num_vertices:
+        if initial_membership is not None and num_vertices:
             _apply_initial_membership(sim, partition, ranks, initial_membership)
 
-    result = ParallelLouvainResult(
-        membership=np.arange(graph.num_vertices, dtype=np.int64),
-        level_labels=[],
-        modularities=[],
-        levels=[],
-        simulation=sim,
-        config=config,
-    )
-    if graph.num_vertices == 0 or m <= 0.0:
+    membership = np.arange(num_vertices, dtype=np.int64)
+    level_labels: list[np.ndarray] = []
+    modularities: list[float] = []
+    levels: list[ParallelLevelStats] = []
+    if num_vertices == 0 or m <= 0.0:
         if tracer.enabled:
             tracer.run_end(modularity=0.0, num_levels=0)
-        return result
+        return membership, level_labels, modularities, levels
 
-    membership = np.arange(graph.num_vertices, dtype=np.int64)
     prev_level_q = -1.0
     # Modularity of the partition each level starts from.  Simultaneous
     # positive-gain moves can jointly *overshoot* (two vertices each join
@@ -781,11 +871,7 @@ def parallel_louvain(
     # known hazard of parallel Louvain's stale-state updates, §III), and
     # REFINE can never split a community back apart -- so a level that ends
     # below its own starting point is discarded wholesale below.
-    level_start_q = modularity_from_labels(
-        graph,
-        membership if initial_membership is None else initial_membership,
-        resolution=config.resolution,
-    )
+    level_start_q = float(level0_q())
 
     for level in range(config.max_levels):
         n_level = partition.num_vertices
@@ -836,7 +922,11 @@ def parallel_louvain(
                     # UPDATE ships (-k, +k) delta pairs, so the global
                     # Σ_tot over community owners must stay exactly 2m.
                     san.check_conservation(
-                        sum(float(st.tot.sum()) for st in ranks),
+                        float(
+                            sim.bus.side_sum(
+                                [float(st.tot.sum()) for st in ranks]
+                            )
+                        ),
                         2.0 * m,
                         what="sigma_tot",
                     )
@@ -883,13 +973,17 @@ def parallel_louvain(
                 ).copy()
             break
 
-        if q - prev_level_q <= config.outer_tol and result.level_labels:
+        if q - prev_level_q <= config.outer_tol and level_labels:
             break
 
-        level_entries = int(sum(len(st.tables.in_table) for st in ranks))
+        level_entries = int(
+            sim.bus.side_sum([len(st.tables.in_table) for st in ranks])
+        )
         if san.enabled:
-            weight_before = sum(
-                float(st.tables.in_table.items()[1].sum()) for st in ranks
+            weight_before = float(
+                sim.bus.side_sum(
+                    [float(st.tables.in_table.items()[1].sum()) for st in ranks]
+                )
             )
         with sim.phase("GRAPH_RECONSTRUCTION"):
             ranks, new_partition, labels = backend.reconstruct(
@@ -899,14 +993,21 @@ def parallel_louvain(
             # Contraction reroutes every adjacency entry to a supervertex
             # owner; no weight may be created or dropped (Algorithm 5).
             san.check_conservation(
-                sum(float(st.tables.in_table.items()[1].sum()) for st in ranks),
+                float(
+                    sim.bus.side_sum(
+                        [
+                            float(st.tables.in_table.items()[1].sum())
+                            for st in ranks
+                        ]
+                    )
+                ),
                 weight_before,
                 what="total edge weight across RECONSTRUCTION",
             )
 
-        result.level_labels.append(labels)
-        result.modularities.append(q)
-        result.levels.append(
+        level_labels.append(labels)
+        modularities.append(q)
+        levels.append(
             ParallelLevelStats(
                 level=level,
                 num_vertices=n_level,
@@ -926,9 +1027,9 @@ def parallel_louvain(
             break
         partition = new_partition
 
-    result.membership = membership
     if tracer.enabled:
         tracer.run_end(
-            modularity=result.final_modularity, num_levels=result.num_levels
+            modularity=modularities[-1] if modularities else 0.0,
+            num_levels=len(level_labels),
         )
-    return result
+    return membership, level_labels, modularities, levels

@@ -572,9 +572,15 @@ class VectorBackend:
         n_new = int(new_ids.size)
         new_partition = ModuloPartition(n_new, partition.num_ranks)
 
+        # Gather the per-rank renamed shards so every rank (and the driver)
+        # holds the full dendrogram row -- in process mode each worker only
+        # computes its own fragment locally.
+        frags = bus.side_gather(
+            [np.searchsorted(new_ids, st.community) for st in ranks]
+        )
         labels = np.empty(partition.num_vertices, dtype=np.int64)
-        for st in ranks:
-            labels[st.owned] = np.searchsorted(new_ids, st.community)
+        for rank in range(partition.num_ranks):
+            labels[partition.owned(rank)] = frags[rank]
 
         outboxes = []
         for st in ranks:
@@ -591,12 +597,12 @@ class VectorBackend:
         result = bus.exchange(outboxes)
 
         new_states = []
-        for rank in range(partition.num_ranks):
-            v_in, u_in, w_in = result.inbox(rank)
-            prof.add_ops(rank, np.asarray(v_in).size)
+        for st in ranks:
+            v_in, u_in, w_in = result.inbox(st.rank)
+            prof.add_ops(st.rank, np.asarray(v_in).size)
             new_states.append(
                 _VectorRankState(
-                    rank,
+                    st.rank,
                     new_partition,
                     np.asarray(v_in, dtype=np.int64),
                     np.asarray(u_in, dtype=np.int64),

@@ -11,11 +11,33 @@ from .machine import (
     total_time,
 )
 from .profiler import PhaseCounters, PhaseProfiler
+from .shm import (
+    ArraySpec,
+    ManifestReader,
+    SharedMemoryBus,
+    ShmBlock,
+    ShmManifest,
+    ShmProtocolError,
+    leaked_segments,
+    publish_arrays,
+)
+
+# NOTE: repro.runtime.process (ProcessExecutionError, process_louvain) is
+# imported lazily -- it depends on repro.parallel, which imports this
+# package at module load.
 
 __all__ = [
     "MessageBus",
     "ExchangeResult",
     "Simulation",
+    "SharedMemoryBus",
+    "ShmBlock",
+    "ShmManifest",
+    "ArraySpec",
+    "ManifestReader",
+    "ShmProtocolError",
+    "publish_arrays",
+    "leaked_segments",
     "PhaseProfiler",
     "PhaseCounters",
     "MachineModel",

@@ -318,3 +318,28 @@ class MessageBus:
     def barrier(self) -> None:
         if self.profiler is not None:
             self.profiler.add_collective()
+
+    # -------------------------------------------------------------- #
+    # Side channels (driver bookkeeping, not algorithm traffic)
+    # -------------------------------------------------------------- #
+
+    def side_sum(self, values: list):
+        """Sum per-rank bookkeeping values without charging a collective.
+
+        Used for driver-side accounting (sanitizer conservation sums, level
+        statistics) that in process mode must cross worker boundaries but is
+        not part of the algorithm's modeled communication.  Folds in rank
+        order, exactly like :meth:`allreduce_sum`.
+        """
+        if len(values) != self.num_ranks:
+            raise ValueError("one value per rank required")
+        total = values[0]
+        for v in values[1:]:
+            total = total + v
+        return total
+
+    def side_gather(self, values: list) -> list:
+        """Gather per-rank bookkeeping values without charging a collective."""
+        if len(values) != self.num_ranks:
+            raise ValueError("one value per rank required")
+        return list(values)

@@ -291,16 +291,20 @@ class DetectionService:
         store_capacity: int | None = 32,
         num_ranks: int = 4,
         seed: int = 0,
+        execution: str = "simulated",
         default_timeout: float | None = None,
         default_max_retries: int = 0,
         sink: TraceSink | None = None,
         runner: Runner | None = None,
         monitor_interval: float = 0.02,
     ) -> None:
+        if execution not in ("simulated", "process"):
+            raise ValueError(f"unknown execution mode {execution!r}")
         self.queue = JobQueue(capacity=queue_capacity)
         self.store = SnapshotStore(capacity=store_capacity)
         self.num_ranks = int(num_ranks)
         self.seed = seed
+        self.execution = execution
         self.default_timeout = default_timeout
         self.default_max_retries = int(default_max_retries)
         self._shared_sink = _LockedSink(sink) if sink is not None else None
@@ -416,6 +420,10 @@ class DetectionService:
             "seed": self.seed,
             **job.payload["options"],
         }
+        if options.get("algorithm") == "parallel":
+            # The service-wide execution mode applies unless the job chose
+            # its own; the driver picks the vector backend under "process".
+            options.setdefault("execution", self.execution)
         graph = job.payload["graph"]
         summary = detect_communities(graph, tracer=ctx.tracer, **options)
         snap = self.store.put(
@@ -446,6 +454,9 @@ class DetectionService:
                     raise TransientJobError(str(exc)) from exc
                 raise  # a named version that is gone will stay gone
             options = dict(job.payload["options"])
+            options.setdefault("execution", self.execution)
+            if options["execution"] == "process":
+                options.setdefault("backend", "vector")
             config = ParallelLouvainConfig(
                 num_ranks=options.pop("num_ranks", self.num_ranks), **options
             )

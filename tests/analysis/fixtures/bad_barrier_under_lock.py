@@ -1,0 +1,34 @@
+"""Known-bad SPMD transport: barrier/queue rendezvous inside critical
+sections.
+
+A superstep barrier wait while holding a lock deadlocks the whole rank
+fleet the moment any peer needs that lock to reach its own wait; queue
+handoffs and worker joins under a lock serialize (or deadlock) the same
+way.
+"""
+
+import threading
+
+
+class SharedBus:
+    def __init__(self, barrier, queue):
+        self._lock = threading.Lock()
+        self._barrier = barrier
+        self._queue = queue
+        self._ops = 0
+
+    def superstep(self, payload):
+        with self._lock:
+            self._ops += 1
+            # BAD: every peer must reach the barrier, but a peer that needs
+            # _lock to get there never will -- the wait can't fill.
+            self._barrier.wait(timeout=30)
+
+    def handoff(self, item):
+        with self._lock:
+            self._queue.put(item)  # BAD: blocks when the queue is full
+            return self._queue.get()  # BAD: blocks on a peer under the lock
+
+    def reap(self, worker):
+        with self._lock:
+            worker.join()  # BAD: the worker may need _lock to finish

@@ -171,7 +171,7 @@ class TestDriver:
     def test_run_checks_sorts_across_files(self):
         found = run_checks([FIXTURES])
         assert found == sorted(found)
-        assert len(found) == 21  # every bad fixture fires, no clean one does
+        assert len(found) == 25  # every bad fixture fires, no clean one does
 
     def test_select_filters_run_checks(self):
         found = run_checks([FIXTURES], select=["out-table-reuse"])

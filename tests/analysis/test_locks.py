@@ -199,6 +199,15 @@ class TestFixturePairs:
         assert all(f.severity == "warning" for f in found)
         assert len(found) == 3  # detect run, sleep, file write
 
+    def test_bad_barrier_under_lock_fires(self):
+        found = findings_for("bad_barrier_under_lock.py")
+        assert {f.checker for f in found} == {"blocking-call-under-lock"}
+        # barrier wait, queue put, queue get, worker join
+        assert len(found) == 4
+        messages = " ".join(f.message for f in found)
+        assert "_barrier.wait" in messages
+        assert "worker.join" in messages
+
     def test_bad_wait_no_loop_fires(self):
         found = findings_for("bad_wait_no_loop.py")
         assert {f.checker for f in found} == {"condition-wait-no-loop"}
