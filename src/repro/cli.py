@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Nine subcommands cover the library's main workflows:
+Ten subcommands cover the library's main workflows:
 
 * ``detect``      -- community detection on an edge-list file (optionally
   recording a structured trace with ``--trace`` / ``--trace-format`` --
@@ -21,6 +21,10 @@ Nine subcommands cover the library's main workflows:
   ``run`` a TOML/JSON matrix into ``run_table.csv`` + ``BENCH_<label>.json``,
   ``report`` a summary as markdown, ``compare`` two summaries as the CI perf
   gate, ``cells`` to dry-run the expansion;
+* ``load``        -- load-test + SLO harness (:mod:`repro.loadgen`): ``run``
+  a TOML traffic scenario against a self-booted or external ``repro
+  serve``, ``report`` a stored ``LOAD_<label>.json``, ``compare`` two runs
+  as a latency/throughput regression gate;
 * ``check``       -- run the :mod:`repro.analysis` superstep-safety linter
   over source files or directories.
 """
@@ -327,6 +331,77 @@ def build_parser() -> argparse.ArgumentParser:
         "cells", help="expand a matrix file and list its cells (dry run)"
     )
     ben_cells.add_argument("matrix", help="TOML/JSON matrix file")
+
+    lod = sub.add_parser(
+        "load",
+        help="load-test the service: run / report / compare TOML scenarios",
+    )
+    lod_sub = lod.add_subparsers(dest="load_command", required=True)
+
+    lod_run = lod_sub.add_parser(
+        "run",
+        help="drive a scenario against repro serve; write load_table.csv "
+        "+ LOAD_<label>.json; non-zero exit on SLO violation",
+    )
+    lod_run.add_argument("scenario", help="TOML/JSON scenario (benchmarks/load/)")
+    lod_run.add_argument(
+        "--url", default=None, metavar="URL",
+        help="target an already-running server instead of booting one "
+        "(the scenario's [service] table is ignored)",
+    )
+    lod_run.add_argument(
+        "--out-dir", default="load-results", metavar="DIR",
+        help="artifact directory (created if missing)",
+    )
+    lod_run.add_argument(
+        "--label", default=None,
+        help="override the scenario label (names the LOAD json)",
+    )
+    lod_run.add_argument(
+        "--duration-scale", type=float, default=1.0, metavar="FACTOR",
+        help="multiply ramp/steady durations (CI shrinks, soak runs grow)",
+    )
+    lod_run.add_argument(
+        "--slo", action="append", default=[], metavar="TARGET.KEY=VALUE",
+        help="add or override an SLO assertion (repeatable), e.g. "
+        "total.p99_ms=500 -- the CI must-fail self-test sets an "
+        "impossible bound this way",
+    )
+    lod_run.add_argument(
+        "--no-slo-exit", action="store_true",
+        help="report SLO violations but exit 0 anyway (exploratory runs)",
+    )
+
+    lod_rep = lod_sub.add_parser(
+        "report", help="render a LOAD_*.json summary as markdown"
+    )
+    lod_rep.add_argument("summary", help="LOAD_*.json produced by `load run`")
+    lod_rep.add_argument(
+        "--check-slo", action="store_true",
+        help="also re-evaluate the stored SLO verdict; non-zero exit if "
+        "the stored run had violations",
+    )
+
+    lod_cmp = lod_sub.add_parser(
+        "compare",
+        help="diff two LOAD_*.json files; non-zero exit when p99 grows or "
+        "throughput drops beyond tolerance",
+    )
+    lod_cmp.add_argument("baseline", help="checked-in baseline LOAD json")
+    lod_cmp.add_argument("current", help="freshly produced LOAD json")
+    lod_cmp.add_argument(
+        "--p99-tolerance", type=float, default=None, metavar="FRAC",
+        help="allowed relative p99 increase (default 1.0 -- load latency "
+        "on shared machines is noisy; this catches step changes)",
+    )
+    lod_cmp.add_argument(
+        "--throughput-tolerance", type=float, default=None, metavar="FRAC",
+        help="allowed relative throughput decrease (default 0.3)",
+    )
+    lod_cmp.add_argument(
+        "--show-ok", action="store_true",
+        help="also list in-tolerance comparisons",
+    )
 
     chk = sub.add_parser(
         "check",
@@ -983,6 +1058,112 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_load(args) -> int:
+    import dataclasses
+    import json as _json
+    import os
+
+    from .loadgen import (
+        LoadConfigError,
+        compare_load_summaries,
+        evaluate_slos,
+        format_load_compare,
+        format_load_report,
+        load_scenario,
+        parse_slo_overrides,
+        run_scenario,
+        write_load_summary,
+        write_load_table,
+    )
+
+    if args.load_command == "run":
+        try:
+            scenario = load_scenario(args.scenario)
+            overrides = parse_slo_overrides(args.slo)
+        except (OSError, LoadConfigError, ValueError) as exc:
+            print(f"cannot load scenario {args.scenario}: {exc}", file=sys.stderr)
+            return 2
+        if args.label:
+            scenario = dataclasses.replace(scenario, label=args.label)
+        if args.duration_scale != 1.0:
+            scenario = scenario.scaled(args.duration_scale)
+        for target, spec in overrides.items():
+            scenario.slos.setdefault(target, {}).update(spec)
+        shape = (
+            f"{scenario.rate:g} rps open-loop (cap {scenario.max_outstanding})"
+            if scenario.mode == "open"
+            else f"{scenario.clients} closed-loop clients"
+        )
+        print(
+            f"scenario {scenario.label}: {shape}, "
+            f"{scenario.offered_duration_s:g}s offered + "
+            f"{scenario.drain_s:g}s drain, poll={scenario.poll}"
+        )
+        try:
+            result = run_scenario(scenario, url=args.url, progress=print)
+        except (RuntimeError, LoadConfigError) as exc:
+            print(f"load run failed: {exc}", file=sys.stderr)
+            return 2
+        os.makedirs(args.out_dir, exist_ok=True)
+        table_path = os.path.join(args.out_dir, "load_table.csv")
+        summary_path = os.path.join(
+            args.out_dir, f"LOAD_{scenario.label}.json"
+        )
+        write_load_table(result, table_path)
+        doc = write_load_summary(result, summary_path)
+        print(f"wrote {table_path}")
+        print(f"wrote {summary_path}")
+        print()
+        print(format_load_report(doc))
+        for check in result.checks:
+            print(check.describe())
+        if not result.passed and not args.no_slo_exit:
+            print("SLO violations -- failing the run", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.load_command == "report":
+        try:
+            with open(args.summary, "r", encoding="utf-8") as fh:
+                doc = _json.load(fh)
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"cannot read summary {args.summary}: {exc}", file=sys.stderr)
+            return 2
+        print(format_load_report(doc))
+        if args.check_slo:
+            # Re-derive the verdict from the stored per-op numbers rather
+            # than trusting the stored boolean (guards hand-edited files).
+            slos = {
+                c["target"]: {} for c in doc.get("slo", {}).get("checks", [])
+            }
+            for c in doc.get("slo", {}).get("checks", []):
+                slos[c["target"]][c["key"]] = c["limit"]
+            checks = evaluate_slos(doc.get("ops", {}), slos)
+            for check in checks:
+                print(check.describe())
+            return 0 if all(c.ok for c in checks) else 1
+        return 0
+
+    # compare
+    docs = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                docs.append(_json.load(fh))
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"cannot read summary {path}: {exc}", file=sys.stderr)
+            return 2
+    kwargs = {}
+    if args.p99_tolerance is not None:
+        kwargs["p99_tolerance"] = args.p99_tolerance
+    if args.throughput_tolerance is not None:
+        kwargs["throughput_tolerance"] = args.throughput_tolerance
+    result = compare_load_summaries(docs[0], docs[1], **kwargs)
+    print(f"load compare: {args.current} vs baseline {args.baseline}")
+    print(format_load_compare(result, show_ok=args.show_ok))
+    return 1 if result.failed else 0
+
+
 def _cmd_check(args) -> int:
     from .analysis import (
         CHECKERS,
@@ -1079,6 +1260,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "bench": _cmd_bench,
+        "load": _cmd_load,
         "check": _cmd_check,
     }
     try:

@@ -1,0 +1,91 @@
+"""Load-test + SLO harness for the ``repro serve`` detection service.
+
+``repro.bench`` answers "how fast is the algorithm"; this package answers
+"does the *service* hold up under traffic".  A declarative TOML scenario
+describes an arrival process (open-loop at a fixed rate with a bounded
+outstanding cap, or closed-loop clients with think time), a weighted mix of
+API operations (graph submissions, edge-batch updates, membership and diff
+queries, health polls), how submitted jobs are followed to completion
+(server-side long poll vs busy poll), and the SLOs the run must meet.  The
+runner boots ``repro serve`` as a subprocess (or targets ``--url``), drives
+the traffic, scrapes the server's own ``/metrics`` for queue depth and
+request-duration histograms, and emits ``load_table.csv`` +
+``LOAD_<label>.json`` artifacts in the same spirit as the benchmark
+matrix's ``run_table.csv`` + ``BENCH_<label>.json``.
+
+Wired into the CLI as ``repro load run | report | compare``.
+"""
+
+from .client import OpResult, ServiceClient
+from .metrics import (
+    GaugeSampler,
+    LoadRecorder,
+    OpStats,
+    Reservoir,
+    histogram_quantile,
+    parse_prometheus_gauges,
+    parse_prometheus_histograms,
+)
+from .report import (
+    LoadCompareResult,
+    LoadDelta,
+    compare_load_summaries,
+    format_load_compare,
+    format_load_report,
+)
+from .runner import (
+    LOAD_SCHEMA_VERSION,
+    LoadResult,
+    ServerHandle,
+    boot_server,
+    run_scenario,
+    write_load_summary,
+    write_load_table,
+)
+from .slo import SLO_KEYS, SloCheck, evaluate_slos, parse_slo_overrides
+from .workload import (
+    OP_KINDS,
+    LoadConfigError,
+    OperationMix,
+    OpSpec,
+    Scenario,
+    load_scenario,
+    open_loop_arrivals,
+    parse_scenario,
+)
+
+__all__ = [
+    "LoadConfigError",
+    "Scenario",
+    "OpSpec",
+    "OperationMix",
+    "OP_KINDS",
+    "load_scenario",
+    "parse_scenario",
+    "open_loop_arrivals",
+    "OpResult",
+    "ServiceClient",
+    "Reservoir",
+    "OpStats",
+    "LoadRecorder",
+    "GaugeSampler",
+    "parse_prometheus_gauges",
+    "parse_prometheus_histograms",
+    "histogram_quantile",
+    "SloCheck",
+    "SLO_KEYS",
+    "evaluate_slos",
+    "parse_slo_overrides",
+    "LoadResult",
+    "ServerHandle",
+    "boot_server",
+    "run_scenario",
+    "write_load_table",
+    "write_load_summary",
+    "LOAD_SCHEMA_VERSION",
+    "format_load_report",
+    "LoadDelta",
+    "LoadCompareResult",
+    "compare_load_summaries",
+    "format_load_compare",
+]

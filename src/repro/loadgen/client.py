@@ -1,0 +1,222 @@
+"""Thin stdlib HTTP client for the ``repro serve`` API.
+
+One method per service endpoint, every call timed, every outcome folded into
+an :class:`OpResult` instead of an exception: the load generator must keep
+issuing traffic when the server answers 503 (that *is* the signal under
+test), so HTTP errors are data, not control flow.  Only the constructor-level
+misuse (bad URL) raises.
+
+The client understands the service's submission protocol: POSTs answer
+**202** with a ``job_id``, an overloaded queue answers **503** with a
+``Retry-After`` header (surfaced on the result), and job status supports
+either busy polling (``GET /jobs/<id>``) or server-side long polling
+(``GET /jobs/<id>?wait=<s>``, blocking on the queue's terminal condition
+variable).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["OpResult", "ServiceClient"]
+
+#: Job states the service reports as terminal (mirrors ``JobState``).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class OpResult:
+    """Outcome of one HTTP request, as the metrics layer consumes it.
+
+    ``status`` is the HTTP status code, or ``0`` when the request never got a
+    response (connection refused, timeout); ``error`` then carries the
+    reason.  ``latency_s`` is wall-clock from request start to body read.
+    """
+
+    op: str
+    status: int
+    latency_s: float
+    payload: dict[str, Any] = field(default_factory=dict)
+    retry_after: float | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client (``urllib``; zero dependencies).
+
+    Thread-safe by construction: no mutable state beyond the base URL, so
+    load-generator worker threads share one instance.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ValueError(f"base_url must be http(s)://, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ---------------------------------------------------------------- #
+    # Core request machinery
+    # ---------------------------------------------------------------- #
+
+    def request(
+        self,
+        op: str,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> OpResult:
+        """Issue one request; never raises for server-side outcomes."""
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout
+            ) as resp:
+                raw = resp.read()
+                return OpResult(
+                    op=op,
+                    status=resp.status,
+                    latency_s=time.perf_counter() - t0,
+                    payload=_decode(raw),
+                )
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            retry_after = exc.headers.get("Retry-After")
+            return OpResult(
+                op=op,
+                status=exc.code,
+                latency_s=time.perf_counter() - t0,
+                payload=_decode(raw),
+                retry_after=None if retry_after is None else float(retry_after),
+                error=_decode(raw).get("error") or str(exc),
+            )
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            return OpResult(
+                op=op,
+                status=0,
+                latency_s=time.perf_counter() - t0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    # ---------------------------------------------------------------- #
+    # Endpoints
+    # ---------------------------------------------------------------- #
+
+    def submit_graph(self, body: dict[str, Any]) -> OpResult:
+        return self.request("submit_graph", "POST", "/graph", body)
+
+    def submit_edges(self, body: dict[str, Any]) -> OpResult:
+        return self.request("edge_batch", "POST", "/edges", body)
+
+    def job(self, job_id: str, wait: float | None = None) -> OpResult:
+        """Job status; ``wait`` switches to server-side long polling."""
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        # Give the socket headroom beyond the server-side wait so a full
+        # long-poll window is never misread as a client timeout.
+        timeout = self.timeout if wait is None else wait + self.timeout
+        return self.request("poll", "GET", path, timeout=timeout)
+
+    def cancel(self, job_id: str) -> OpResult:
+        return self.request("cancel", "DELETE", f"/jobs/{job_id}")
+
+    def membership(
+        self, vertex: int | None = None, version: int | None = None
+    ) -> OpResult:
+        params = []
+        if vertex is not None:
+            params.append(f"vertex={vertex}")
+        if version is not None:
+            params.append(f"version={version}")
+        query = "?" + "&".join(params) if params else ""
+        return self.request("membership", "GET", "/membership" + query)
+
+    def versions(self) -> OpResult:
+        return self.request("versions", "GET", "/versions")
+
+    def diff(self, from_version: int, to_version: int) -> OpResult:
+        return self.request(
+            "diff", "GET", f"/diff?from={from_version}&to={to_version}"
+        )
+
+    def health(self) -> OpResult:
+        return self.request("health", "GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus text, or ``""`` if the scrape fails."""
+        result = self.request("metrics", "GET", "/metrics")
+        return result.payload.get("_text", "") if result.ok else ""
+
+    def shutdown(self) -> OpResult:
+        return self.request("shutdown", "POST", "/shutdown", {})
+
+    # ---------------------------------------------------------------- #
+    # Job following
+    # ---------------------------------------------------------------- #
+
+    def follow_job(
+        self,
+        job_id: str,
+        *,
+        mode: str = "long",
+        wait_s: float = 5.0,
+        interval_s: float = 0.02,
+        deadline: float | None = None,
+    ) -> tuple[str, list[OpResult]]:
+        """Poll ``job_id`` to a terminal state; return (state, poll results).
+
+        ``mode="long"`` re-issues bounded ``?wait=`` requests (each parks a
+        server thread, so the server caps individual waits); ``mode="busy"``
+        sleeps ``interval_s`` between plain status GETs.  ``deadline`` is an
+        absolute ``time.monotonic()`` bound -- when it passes, the last known
+        state is returned (the drain phase uses this to give up cleanly).
+        """
+        polls: list[OpResult] = []
+        state = "unknown"
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                return state, polls
+            if mode == "long":
+                budget = wait_s
+                if deadline is not None:
+                    budget = min(budget, max(deadline - time.monotonic(), 0.0))
+                result = self.job(job_id, wait=budget)
+            else:
+                result = self.job(job_id)
+            polls.append(result)
+            if not result.ok:
+                return state, polls
+            state = str(result.payload.get("state", "unknown"))
+            if state in TERMINAL_STATES:
+                return state, polls
+            if mode == "busy":
+                time.sleep(interval_s)
+
+
+def _decode(raw: bytes) -> dict[str, Any]:
+    """Parse a JSON body; non-JSON (e.g. /metrics text) lands under _text."""
+    if not raw:
+        return {}
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError:
+        return {"_text": raw.decode("utf-8", errors="replace")}
+    return doc if isinstance(doc, dict) else {"_value": doc}

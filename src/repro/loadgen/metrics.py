@@ -1,0 +1,376 @@
+"""Streaming metrics for the load generator.
+
+Latency quantiles come from a **seeded reservoir sample** (Vitter's
+Algorithm R): a load run can record tens of thousands of requests, and
+keeping every latency would make memory proportional to run length.  A
+4096-element uniform sample bounds memory while keeping p99 of a
+several-thousand-sample run exact in practice (the reservoir only starts
+dropping after it fills, and drops uniformly).  The reservoir RNG is seeded
+so two identical runs summarize identically.
+
+Everything here is written for concurrent writers: worker threads record
+:class:`~repro.loadgen.client.OpResult` values into per-op accumulators
+under a lock, while a :class:`GaugeSampler` thread scrapes the server's
+``/metrics`` endpoint for queue-depth gauges.  The final summary also folds
+in the server's own per-endpoint request-duration histograms, so the report
+can put client-observed and server-observed latency side by side -- the gap
+between them is connection/queueing time outside the handler.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..bench.stats import summarize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import OpResult
+
+__all__ = [
+    "Reservoir",
+    "OpStats",
+    "LoadRecorder",
+    "GaugeSampler",
+    "parse_prometheus_gauges",
+    "parse_prometheus_histograms",
+    "histogram_quantile",
+]
+
+#: Reservoir capacity: exact quantiles up to this many samples per op.
+RESERVOIR_SIZE = 4096
+
+
+class Reservoir:
+    """Uniform fixed-size sample of a stream (Algorithm R), seeded."""
+
+    def __init__(self, capacity: int = RESERVOIR_SIZE, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self._capacity = capacity
+        self._rng = random.Random(seed)
+        self._sample: list[float] = []
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        self._seen += 1
+        if len(self._sample) < self._capacity:
+            self._sample.append(value)
+        else:
+            j = self._rng.randrange(self._seen)
+            if j < self._capacity:
+                self._sample[j] = value
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile of the current sample (0 if empty)."""
+        if not self._sample:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        data = sorted(self._sample)
+        pos = q * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        return data[lo] + (data[hi] - data[lo]) * (pos - lo)
+
+
+@dataclass
+class OpStats:
+    """Accumulated outcomes for one operation name.
+
+    Status classes are disjoint: ``ok`` (2xx), ``backpressure`` (503),
+    ``not_found`` (404 -- expected early in a cold mixed workload, before
+    the first snapshot lands), ``client_err`` (other 4xx), ``server_err``
+    (other 5xx), ``net_err`` (no HTTP response at all).  The *error rate*
+    the SLO layer gates on is server_err + net_err: backpressure and 404s
+    are protocol behavior, not failures, and get their own SLO keys.
+    """
+
+    name: str
+    count: int = 0
+    ok: int = 0
+    backpressure: int = 0
+    not_found: int = 0
+    client_err: int = 0
+    server_err: int = 0
+    net_err: int = 0
+    latency_sum_s: float = 0.0
+    latency_max_s: float = 0.0
+    reservoir: Reservoir = field(default_factory=Reservoir)
+
+    def record(self, result: "OpResult") -> None:
+        self.count += 1
+        status = result.status
+        if 200 <= status < 300:
+            self.ok += 1
+        elif status == 503:
+            self.backpressure += 1
+        elif status == 404:
+            self.not_found += 1
+        elif 400 <= status < 500:
+            self.client_err += 1
+        elif status >= 500:
+            self.server_err += 1
+        else:
+            self.net_err += 1
+        self.latency_sum_s += result.latency_s
+        self.latency_max_s = max(self.latency_max_s, result.latency_s)
+        self.reservoir.add(result.latency_s)
+
+    # -- derived ------------------------------------------------------ #
+
+    @property
+    def errors(self) -> int:
+        return self.server_err + self.net_err
+
+    def rate(self, numerator: int) -> float:
+        return numerator / self.count if self.count else 0.0
+
+    def summary(self, duration_s: float) -> dict[str, Any]:
+        ms = 1000.0
+        return {
+            "count": self.count,
+            "ok": self.ok,
+            "backpressure_503": self.backpressure,
+            "not_found_404": self.not_found,
+            "client_err_4xx": self.client_err,
+            "server_err_5xx": self.server_err,
+            "net_err": self.net_err,
+            "throughput_rps": self.count / duration_s if duration_s else 0.0,
+            "error_rate": self.rate(self.errors),
+            "rate_503": self.rate(self.backpressure),
+            "latency_ms": {
+                "mean": ms * self.latency_sum_s / self.count if self.count else 0.0,
+                "p50": ms * self.reservoir.quantile(0.50),
+                "p95": ms * self.reservoir.quantile(0.95),
+                "p99": ms * self.reservoir.quantile(0.99),
+                "max": ms * self.latency_max_s,
+            },
+        }
+
+
+class LoadRecorder:
+    """Thread-safe sink for all worker threads' :class:`OpResult` values."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._seed = seed
+        self._ops: dict[str, OpStats] = {}
+        #: Arrivals dropped because the outstanding-request cap was hit.
+        self.shed = 0
+        #: End-to-end submit->terminal latencies (successful jobs only).
+        self.job_turnaround = Reservoir(seed=seed + 1)
+        self.jobs_completed = 0
+        self.jobs_unresolved = 0
+
+    def record(self, result: "OpResult") -> None:
+        with self._lock:
+            stats = self._ops.get(result.op)
+            if stats is None:
+                stats = OpStats(
+                    result.op,
+                    reservoir=Reservoir(seed=self._seed + len(self._ops)),
+                )
+                self._ops[result.op] = stats
+            stats.record(result)
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_job(self, turnaround_s: float, resolved: bool) -> None:
+        with self._lock:
+            if resolved:
+                self.jobs_completed += 1
+                self.job_turnaround.add(turnaround_s)
+            else:
+                self.jobs_unresolved += 1
+
+    def op_stats(self) -> dict[str, OpStats]:
+        with self._lock:
+            return dict(self._ops)
+
+    def totals(self) -> OpStats:
+        """Aggregate across ops (reservoir holds the union's sample)."""
+        total = OpStats("total", reservoir=Reservoir(seed=self._seed + 997))
+        with self._lock:
+            for stats in self._ops.values():
+                total.count += stats.count
+                total.ok += stats.ok
+                total.backpressure += stats.backpressure
+                total.not_found += stats.not_found
+                total.client_err += stats.client_err
+                total.server_err += stats.server_err
+                total.net_err += stats.net_err
+                total.latency_sum_s += stats.latency_sum_s
+                total.latency_max_s = max(total.latency_max_s, stats.latency_max_s)
+                for v in stats.reservoir._sample:
+                    total.reservoir.add(v)
+        return total
+
+
+class GaugeSampler:
+    """Background thread sampling server gauges from ``/metrics``.
+
+    Queue depth over time is the load test's most diagnostic series: a
+    healthy open-loop run oscillates near zero, an overloaded one pins at
+    capacity (and the client sees 503s).  Samples are kept raw and reduced
+    with the benchmark suite's :func:`~repro.bench.stats.summarize`.
+    """
+
+    GAUGES = (
+        "repro_service_queue_pending",
+        "repro_service_jobs_running",
+        "repro_service_snapshots_retained",
+    )
+
+    def __init__(
+        self, scrape: Callable[[], str], interval_s: float = 0.25
+    ) -> None:
+        self._scrape = scrape
+        self._interval = max(interval_s, 0.01)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="loadgen-gauges", daemon=True
+        )
+        self.samples: dict[str, list[float]] = {g: [] for g in self.GAUGES}
+        self.scrape_failures = 0
+
+    def start(self) -> "GaugeSampler":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            text = self._scrape()
+            if text:
+                gauges = parse_prometheus_gauges(text)
+                for name in self.GAUGES:
+                    if name in gauges:
+                        self.samples[name].append(gauges[name])
+            else:
+                self.scrape_failures += 1
+            self._stop.wait(self._interval)
+
+    def summary(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"scrape_failures": self.scrape_failures}
+        for name, values in self.samples.items():
+            if values:
+                out[name] = summarize(values).to_dict()
+        return out
+
+
+# -------------------------------------------------------------------- #
+# Prometheus text parsing (the loadgen is also the service's first real
+# metrics consumer, so parse the exposition format rather than adding a
+# side-channel JSON endpoint)
+# -------------------------------------------------------------------- #
+
+def parse_prometheus_gauges(text: str) -> dict[str, float]:
+    """Label-less ``name value`` samples from Prometheus text."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#") or "{" in line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            continue
+        try:
+            out[parts[0]] = float(parts[1])
+        except ValueError:
+            continue
+    return out
+
+
+def parse_prometheus_histograms(
+    text: str, name: str = "repro_service_request_duration_seconds"
+) -> dict[str, dict[str, Any]]:
+    """Extract one histogram family, keyed by its ``endpoint`` label.
+
+    Returns ``{endpoint: {"buckets": [(le, cumulative_count), ...],
+    "sum": float, "count": int}}`` with buckets in ascending ``le`` order
+    (``le=+Inf`` mapped to ``math.inf``).
+    """
+    import math
+
+    out: dict[str, dict[str, Any]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith(name) or "{" not in line:
+            if line.startswith(name + "_count") or line.startswith(name + "_sum"):
+                pass  # label-less series do not occur for this family
+            continue
+        series, _, value_str = line.partition("} ")
+        metric, _, labels_str = series.partition("{")
+        labels = _parse_labels(labels_str)
+        endpoint = labels.get("endpoint", "")
+        entry = out.setdefault(
+            endpoint, {"buckets": [], "sum": 0.0, "count": 0}
+        )
+        try:
+            value = float(value_str)
+        except ValueError:
+            continue
+        if metric.endswith("_bucket"):
+            le_str = labels.get("le", "+Inf")
+            le = math.inf if le_str == "+Inf" else float(le_str)
+            entry["buckets"].append((le, int(value)))
+        elif metric.endswith("_sum"):
+            entry["sum"] = value
+        elif metric.endswith("_count"):
+            entry["count"] = int(value)
+    for entry in out.values():
+        entry["buckets"].sort(key=lambda b: b[0])
+    return out
+
+
+def _parse_labels(labels_str: str) -> dict[str, str]:
+    """``k1="v1",k2="v2"`` -> dict (values contain no quotes or commas)."""
+    labels: dict[str, str] = {}
+    for part in labels_str.rstrip("}").split(","):
+        key, _, value = part.partition("=")
+        if key:
+            labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+def histogram_quantile(
+    buckets: list[tuple[float, int]], q: float
+) -> float:
+    """Prometheus-style quantile estimate from cumulative ``le`` buckets.
+
+    Linear interpolation inside the bucket containing the target rank --
+    identical semantics to PromQL ``histogram_quantile``, so the report's
+    server-side numbers match what a dashboard over the same data would
+    show.  Returns 0 for an empty histogram.
+    """
+    import math
+
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    prev_le, prev_count = 0.0, 0
+    for le, count in buckets:
+        if count >= rank:
+            if math.isinf(le):
+                return prev_le  # open-ended bucket: clamp to last bound
+            if count == prev_count:
+                return le
+            frac = (rank - prev_count) / (count - prev_count)
+            return prev_le + (le - prev_le) * frac
+        prev_le, prev_count = le, count
+    return prev_le

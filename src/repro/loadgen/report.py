@@ -1,0 +1,216 @@
+"""Render and diff ``LOAD_<label>.json`` summaries.
+
+``repro load report`` turns a stored summary back into the same markdown
+tables the run prints (so a CI artifact is readable without re-running
+anything), and ``repro load compare`` diffs two summaries the way ``repro
+bench compare`` diffs BENCH files: per-op p99 and throughput against a
+relative tolerance, with a non-zero exit when the current run regresses.
+Comparing load runs is noisier than comparing benchmark cells -- latency
+tails on shared machines wander -- so the default tolerance is deliberately
+loose and the gate is meant for catching step changes (a lost index, an
+accidental O(n^2) handler), not single-digit-percent drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..bench.report import format_markdown_table
+
+__all__ = [
+    "format_load_report",
+    "LoadDelta",
+    "LoadCompareResult",
+    "compare_load_summaries",
+    "format_load_compare",
+    "DEFAULT_P99_TOLERANCE",
+    "DEFAULT_THROUGHPUT_TOLERANCE",
+]
+
+#: Allowed relative p99 increase before the compare gate fails.
+DEFAULT_P99_TOLERANCE = 1.0
+#: Allowed relative throughput decrease before the compare gate fails.
+DEFAULT_THROUGHPUT_TOLERANCE = 0.3
+
+
+def format_load_report(doc: Mapping[str, Any]) -> str:
+    """Markdown report for one LOAD summary document."""
+    lines: list[str] = []
+    label = doc.get("label", "?")
+    scenario = doc.get("scenario", {})
+    env = doc.get("environment", {})
+    lines.append(f"# Load report: {label}")
+    if doc.get("description"):
+        lines.append(f"\n{doc['description']}")
+    mode = scenario.get("mode", "?")
+    shape = (
+        f"{scenario.get('rate', '?')} rps open-loop "
+        f"(cap {scenario.get('max_outstanding', '?')})"
+        if mode == "open"
+        else f"{scenario.get('clients', '?')} closed-loop clients "
+        f"(think {scenario.get('think_time_s', '?')}s)"
+    )
+    lines.append(
+        f"\n{mode} mode: {shape}; ramp {scenario.get('ramp_s', 0)}s, "
+        f"steady {scenario.get('steady_s', 0)}s, poll={scenario.get('poll')}; "
+        f"wall {doc.get('wall_s', 0):.1f}s on "
+        f"{env.get('platform', 'unknown platform')}"
+        + (f" @ {env['git_sha']}" if "git_sha" in env else "")
+    )
+    if doc.get("shed"):
+        lines.append(
+            f"\n**{doc['shed']} arrivals shed** at the "
+            "outstanding-request cap (the server was offered less load "
+            "than the scenario's nominal rate)."
+        )
+
+    lines.append("\n## Client-observed per-op latency\n")
+    header = ["op", "count", "rps", "p50 ms", "p95 ms", "p99 ms", "max ms",
+              "503", "404", "err rate"]
+    rows = []
+    ops = doc.get("ops", {})
+    for name in sorted(ops):
+        s = ops[name]
+        lat = s["latency_ms"]
+        rows.append([
+            name, str(s["count"]), f"{s['throughput_rps']:.1f}",
+            f"{lat['p50']:.1f}", f"{lat['p95']:.1f}", f"{lat['p99']:.1f}",
+            f"{lat['max']:.1f}", str(s["backpressure_503"]),
+            str(s["not_found_404"]), f"{s['error_rate']:.3f}",
+        ])
+    lines.append(format_markdown_table(header, rows))
+
+    server = doc.get("server_latency", {})
+    if server:
+        lines.append("\n## Server-side request durations (/metrics histograms)\n")
+        header = ["endpoint", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms"]
+        rows = [
+            [ep, str(s["count"]), f"{s['p50_ms']:.1f}", f"{s['p95_ms']:.1f}",
+             f"{s['p99_ms']:.1f}", f"{s['mean_ms']:.1f}"]
+            for ep, s in sorted(server.items())
+        ]
+        lines.append(format_markdown_table(header, rows))
+        lines.append(
+            "\nClient-vs-server gaps are connection handling + accept-queue "
+            "time outside the handler; a growing gap under load means the "
+            "request threads, not the detection pipeline, are the bottleneck."
+        )
+
+    jobs = doc.get("jobs", {})
+    if jobs.get("completed") or jobs.get("unresolved"):
+        ta = jobs.get("turnaround_ms", {})
+        lines.append(
+            f"\n## Jobs\n\n{jobs.get('completed', 0)} followed to terminal "
+            f"state, {jobs.get('unresolved', 0)} unresolved at drain; "
+            f"submit->terminal p50 {ta.get('p50', 0):.0f} ms / "
+            f"p99 {ta.get('p99', 0):.0f} ms."
+        )
+
+    queue_depth = doc.get("queue_depth", {})
+    pending = queue_depth.get("repro_service_queue_pending")
+    if pending:
+        lines.append(
+            f"\n## Queue depth\n\nPending jobs sampled every scrape: "
+            f"median {pending['median']:.1f}, max {pending['max']:.0f} "
+            f"(n={pending['n']})."
+        )
+
+    slo = doc.get("slo", {})
+    checks = slo.get("checks", [])
+    if checks:
+        lines.append("\n## SLOs\n")
+        header = ["target", "key", "limit", "actual", "result"]
+        rows = [
+            [c["target"], c["key"], f"{c['limit']:g}", f"{c['actual']:.4g}",
+             "PASS" if c["ok"] else "**FAIL**"]
+            for c in checks
+        ]
+        lines.append(format_markdown_table(header, rows))
+        verdict = "all SLOs met" if slo.get("passed") else "SLO VIOLATIONS"
+        lines.append(f"\nVerdict: **{verdict}**.")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class LoadDelta:
+    """One (op, metric) comparison between two LOAD summaries."""
+
+    op: str
+    metric: str
+    baseline: float
+    current: float
+    ratio: float
+    ok: bool
+
+
+@dataclass
+class LoadCompareResult:
+    deltas: list[LoadDelta]
+    missing_ops: list[str]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.missing_ops) or any(not d.ok for d in self.deltas)
+
+
+def compare_load_summaries(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    p99_tolerance: float = DEFAULT_P99_TOLERANCE,
+    throughput_tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
+) -> LoadCompareResult:
+    """Gate current vs baseline: p99 may not grow, throughput may not drop,
+    beyond the given relative tolerances.  Ops present in the baseline but
+    absent from the current run fail the gate (the scenario shrank)."""
+    deltas: list[LoadDelta] = []
+    missing: list[str] = []
+    base_ops = baseline.get("ops", {})
+    cur_ops = current.get("ops", {})
+    for name in sorted(base_ops):
+        if name not in cur_ops:
+            missing.append(name)
+            continue
+        b, c = base_ops[name], cur_ops[name]
+        b_p99 = float(b["latency_ms"]["p99"])
+        c_p99 = float(c["latency_ms"]["p99"])
+        if b_p99 > 0:
+            ratio = c_p99 / b_p99
+            deltas.append(LoadDelta(
+                name, "p99_ms", b_p99, c_p99, ratio,
+                ok=ratio <= 1.0 + p99_tolerance,
+            ))
+        b_rps = float(b["throughput_rps"])
+        c_rps = float(c["throughput_rps"])
+        if b_rps > 0:
+            ratio = c_rps / b_rps
+            deltas.append(LoadDelta(
+                name, "throughput_rps", b_rps, c_rps, ratio,
+                ok=ratio >= 1.0 - throughput_tolerance,
+            ))
+    return LoadCompareResult(deltas=deltas, missing_ops=missing)
+
+
+def format_load_compare(result: LoadCompareResult, *, show_ok: bool = False) -> str:
+    """Markdown table of the regressions (and optionally the in-tolerance rows)."""
+    lines: list[str] = []
+    if result.missing_ops:
+        lines.append(
+            "Ops missing from the current run: "
+            + ", ".join(result.missing_ops)
+        )
+    shown = [d for d in result.deltas if show_ok or not d.ok]
+    if shown:
+        header = ["op", "metric", "baseline", "current", "ratio", "result"]
+        rows = [
+            [d.op, d.metric, f"{d.baseline:.2f}", f"{d.current:.2f}",
+             f"{d.ratio:.2f}x", "ok" if d.ok else "**REGRESSION**"]
+            for d in shown
+        ]
+        lines.append(format_markdown_table(header, rows))
+    if not result.failed:
+        lines.append(
+            f"load compare: {len(result.deltas)} comparisons within tolerance"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,592 @@
+"""Scenario execution: boot the server, drive traffic, judge the SLOs.
+
+The runner either boots ``repro serve`` as a subprocess (``python -m repro
+serve --port 0``, parsing the actual address from its banner -- ephemeral
+ports mean parallel CI jobs never collide) or targets an already-running
+server via ``--url``.  It then drives the scenario's arrival process:
+
+* **open-loop**: a scheduler thread walks the deterministic arrival
+  timetable and hands each arrival to a pool of ``max_outstanding`` worker
+  threads through a bounded handoff queue.  A full queue means the cap is
+  hit -- the arrival is counted as *shed* rather than waited on, preserving
+  open-loop semantics (the clients of an overloaded open system do not
+  politely slow down).
+* **closed-loop**: ``clients`` threads each run request -> think ->
+  request until the steady window closes.
+
+Submitted jobs (202 + ``job_id``) are followed to a terminal state with the
+scenario's poll strategy (server-side long poll or busy poll) and their
+submit->terminal turnaround is recorded separately from per-request
+latency.  After the offered window, the run **drains**: no new arrivals,
+in-flight follows get up to ``drain_s`` to resolve, then the server's
+``/metrics`` endpoint is scraped one last time so the report can show
+server-side request-duration histograms next to the client's view.
+
+Artifacts mirror :mod:`repro.bench`: a ``load_table.csv`` (one row per op)
+plus a ``LOAD_<label>.json`` summary with the environment stamp, making
+``repro load compare`` diffs between commits meaningful.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..bench.runner import environment_stamp
+from .client import ServiceClient, TERMINAL_STATES
+from .metrics import (
+    GaugeSampler,
+    LoadRecorder,
+    histogram_quantile,
+    parse_prometheus_histograms,
+)
+from .slo import SloCheck, evaluate_slos
+from .workload import OperationMix, OpSpec, Scenario, open_loop_arrivals
+
+__all__ = [
+    "LoadResult",
+    "ServerHandle",
+    "boot_server",
+    "run_scenario",
+    "write_load_table",
+    "write_load_summary",
+    "LOAD_SCHEMA_VERSION",
+]
+
+LOAD_SCHEMA_VERSION = 1
+
+#: How long to wait for the subprocess banner before declaring boot failure.
+BOOT_TIMEOUT_S = 30.0
+
+
+# ------------------------------------------------------------------ #
+# Server lifecycle
+# ------------------------------------------------------------------ #
+
+@dataclass
+class ServerHandle:
+    """A self-booted ``repro serve`` subprocess (or an external URL)."""
+
+    url: str
+    process: subprocess.Popen | None = None
+
+    @property
+    def owned(self) -> bool:
+        return self.process is not None
+
+    def stop(self) -> None:
+        """Graceful POST /shutdown, then escalate to terminate/kill."""
+        if self.process is None:
+            return
+        try:
+            ServiceClient(self.url, timeout=5.0).shutdown()
+            self.process.wait(timeout=10.0)
+        except (subprocess.TimeoutExpired, OSError, ValueError):
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        finally:
+            if self.process.stdout is not None:
+                self.process.stdout.close()
+            self.process = None
+
+
+def boot_server(service_opts: dict[str, Any]) -> ServerHandle:
+    """Start ``repro serve`` on an ephemeral port and wait for its banner."""
+    argv = [sys.executable, "-m", "repro", "serve", "--port", "0", "--no-trace"]
+    for key, value in service_opts.items():
+        argv += [f"--{key.replace('_', '-')}", str(value)]
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    banner_lines: list[str] = []
+    while time.monotonic() < deadline:
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+        if not line:
+            break  # process exited
+        banner_lines.append(line.strip())
+        if line.startswith("serving on "):
+            url = line.split()[2]
+            # Leave stdout to the OS pipe buffer; the server only prints at
+            # boot and shutdown, so it cannot fill the pipe mid-run.
+            return ServerHandle(url=url, process=proc)
+    proc.terminate()
+    detail = "; ".join(banner_lines[-5:]) or "no output"
+    raise RuntimeError(f"repro serve failed to boot: {detail}")
+
+
+# ------------------------------------------------------------------ #
+# Payloads and shared run state
+# ------------------------------------------------------------------ #
+
+class _PayloadPool:
+    """Pre-generated request bodies, cycled deterministically.
+
+    Generating a planted-partition graph per request would make the load
+    generator CPU-bound and distort latency; instead a small pool of
+    distinct bodies is built up front and workers round-robin through it.
+    """
+
+    def __init__(self, ops: list[OpSpec], seed: int) -> None:
+        from ..graph.builders import planted_partition
+
+        self._graph_bodies: list[dict[str, Any]] = []
+        self._batch_bodies: list[dict[str, Any]] = []
+        self._counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.num_vertices = 0
+
+        by_name = {op.name: op.params for op in ops}
+        gp = by_name.get("submit_graph", {})
+        communities = int(gp.get("communities", 4))
+        community_size = int(gp.get("community_size", 12))
+        p_in = float(gp.get("p_in", 0.4))
+        p_out = float(gp.get("p_out", 0.02))
+        variants = int(gp.get("variants", 8))
+        self.num_vertices = communities * community_size
+        for i in range(variants):
+            graph, _ = planted_partition(
+                communities, community_size, p_in, p_out, seed=seed + i
+            )
+            src, dst, weight = graph.edge_arrays()
+            edges = [
+                [int(u), int(v), float(w)]
+                for u, v, w in zip(src, dst, weight)
+            ]
+            self._graph_bodies.append(
+                {"edges": edges, "num_vertices": graph.num_vertices}
+            )
+
+        bp = by_name.get("edge_batch", {})
+        batch_add = int(bp.get("add", 8))
+        batch_remove = int(bp.get("remove", 2))
+        batch_variants = int(bp.get("variants", 8))
+        import random as _random
+
+        rng = _random.Random(seed + 7919)
+        n = max(self.num_vertices, 2)
+        for _ in range(batch_variants):
+            add = []
+            for _ in range(batch_add):
+                u = rng.randrange(n)
+                v = rng.randrange(n)
+                if u == v:
+                    v = (v + 1) % n
+                add.append([u, v, 1.0])
+            remove = [pair[:2] for pair in add[:batch_remove]]
+            self._batch_bodies.append({"add": add, "remove": remove})
+
+    def _next(self, kind: str, pool: list[dict[str, Any]]) -> dict[str, Any]:
+        with self._lock:
+            i = self._counters.get(kind, 0)
+            self._counters[kind] = i + 1
+        return pool[i % len(pool)]
+
+    def graph_body(self) -> dict[str, Any]:
+        return self._next("graph", self._graph_bodies)
+
+    def batch_body(self) -> dict[str, Any]:
+        return self._next("batch", self._batch_bodies)
+
+    def vertex(self) -> int:
+        """Deterministic scattered vertex ids for membership queries."""
+        with self._lock:
+            i = self._counters.get("vertex", 0)
+            self._counters["vertex"] = i + 1
+        return (i * 7919) % max(self.num_vertices, 1)
+
+
+class _VersionTracker:
+    """Highest snapshot version any worker has observed (for diff ops)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latest = 0
+
+    def observe(self, version: Any) -> None:
+        try:
+            v = int(version)
+        except (TypeError, ValueError):
+            return
+        with self._lock:
+            self._latest = max(self._latest, v)
+
+    @property
+    def latest(self) -> int:
+        with self._lock:
+            return self._latest
+
+
+# ------------------------------------------------------------------ #
+# Operation execution
+# ------------------------------------------------------------------ #
+
+def _execute_op(
+    op: OpSpec,
+    client: ServiceClient,
+    pool: _PayloadPool,
+    versions: _VersionTracker,
+    recorder: LoadRecorder,
+    scenario: Scenario,
+    deadline: float,
+) -> None:
+    """Run one arrival's operation, including any follow-up job polling."""
+    if op.name == "submit_graph":
+        result = client.submit_graph(pool.graph_body())
+    elif op.name == "edge_batch":
+        result = client.submit_edges(pool.batch_body())
+    elif op.name == "membership":
+        result = client.membership(vertex=pool.vertex())
+    elif op.name == "diff":
+        latest = versions.latest
+        frm = max(latest - 1, 1)
+        result = client.diff(frm, max(latest, 1))
+    elif op.name == "health":
+        result = client.health()
+    else:  # pragma: no cover - parse_scenario rejects unknown ops
+        raise ValueError(f"unknown op {op.name!r}")
+    recorder.record(result)
+
+    job_id = result.payload.get("job_id") if result.status == 202 else None
+    if job_id and scenario.poll != "none":
+        t0 = time.perf_counter()
+        state, polls = client.follow_job(
+            str(job_id),
+            mode=scenario.poll,
+            wait_s=scenario.poll_wait_s,
+            interval_s=scenario.poll_interval_s,
+            deadline=deadline,
+        )
+        for poll_result in polls:
+            recorder.record(poll_result)
+            payload = poll_result.payload
+            if isinstance(payload.get("result"), dict):
+                versions.observe(payload["result"].get("version"))
+        recorder.record_job(
+            time.perf_counter() - t0, resolved=state in TERMINAL_STATES
+        )
+
+
+# ------------------------------------------------------------------ #
+# Arrival processes
+# ------------------------------------------------------------------ #
+
+def _run_open_loop(
+    scenario: Scenario,
+    execute: Callable[[OpSpec], None],
+    recorder: LoadRecorder,
+    progress: Callable[[str], None],
+) -> None:
+    """Fixed-rate arrivals; a bounded handoff queue enforces the cap."""
+    mix = OperationMix(scenario.ops, seed=scenario.seed)
+    handoff: queue.Queue[OpSpec | None] = queue.Queue(
+        maxsize=scenario.max_outstanding
+    )
+
+    def worker() -> None:
+        while True:
+            item = handoff.get()
+            if item is None:
+                return
+            try:
+                execute(item)
+            finally:
+                handoff.task_done()
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(scenario.max_outstanding)
+    ]
+    for t in threads:
+        t.start()
+
+    start = time.monotonic()
+    announced = set()
+    for offset in open_loop_arrivals(
+        scenario.rate, scenario.ramp_s, scenario.steady_s
+    ):
+        now = time.monotonic() - start
+        if offset > now:
+            time.sleep(offset - now)
+        phase = "ramp" if offset < scenario.ramp_s else "steady"
+        if phase not in announced:
+            announced.add(phase)
+            progress(f"{phase} phase ({scenario.rate:g} rps target)")
+        try:
+            handoff.put_nowait(mix.choose())
+        except queue.Full:
+            recorder.record_shed()
+    for _ in threads:
+        handoff.put(None)
+    drain_deadline = time.monotonic() + scenario.drain_s
+    progress("drain phase")
+    for t in threads:
+        t.join(timeout=max(drain_deadline - time.monotonic(), 0.0))
+
+
+def _run_closed_loop(
+    scenario: Scenario,
+    execute: Callable[[OpSpec], None],
+    progress: Callable[[str], None],
+) -> None:
+    """N clients, each request -> think -> request until the window closes."""
+    root_mix = OperationMix(scenario.ops, seed=scenario.seed)
+    stop = threading.Event()
+
+    def client_loop(mix: OperationMix) -> None:
+        while not stop.is_set():
+            execute(mix.choose())
+            if scenario.think_time_s:
+                stop.wait(scenario.think_time_s)
+
+    threads = [
+        threading.Thread(
+            target=client_loop,
+            args=(root_mix.fork(i),),
+            name=f"loadgen-client-{i}",
+            daemon=True,
+        )
+        for i in range(scenario.clients)
+    ]
+    progress(f"{scenario.clients} closed-loop clients")
+    for t in threads:
+        t.start()
+    time.sleep(scenario.offered_duration_s)
+    stop.set()
+    progress("drain phase")
+    drain_deadline = time.monotonic() + scenario.drain_s
+    for t in threads:
+        t.join(timeout=max(drain_deadline - time.monotonic(), 0.0))
+
+
+# ------------------------------------------------------------------ #
+# Result assembly
+# ------------------------------------------------------------------ #
+
+@dataclass
+class LoadResult:
+    """Everything ``repro load run`` reports and persists."""
+
+    scenario: Scenario
+    wall_s: float
+    op_summaries: dict[str, dict[str, Any]]
+    checks: list[SloCheck]
+    queue_depth: dict[str, Any] = field(default_factory=dict)
+    server_latency: dict[str, dict[str, Any]] = field(default_factory=dict)
+    shed: int = 0
+    jobs: dict[str, Any] = field(default_factory=dict)
+    url: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+
+def _server_latency_summary(metrics_text: str) -> dict[str, dict[str, Any]]:
+    """Per-endpoint quantiles from the server's own duration histograms."""
+    ms = 1000.0
+    out: dict[str, dict[str, Any]] = {}
+    for endpoint, hist in parse_prometheus_histograms(metrics_text).items():
+        if not hist["count"]:
+            continue
+        out[endpoint] = {
+            "count": hist["count"],
+            "mean_ms": ms * hist["sum"] / hist["count"],
+            "p50_ms": ms * histogram_quantile(hist["buckets"], 0.50),
+            "p95_ms": ms * histogram_quantile(hist["buckets"], 0.95),
+            "p99_ms": ms * histogram_quantile(hist["buckets"], 0.99),
+        }
+    return out
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    url: str | None = None,
+    tracer=None,
+    progress: Callable[[str], None] | None = None,
+) -> LoadResult:
+    """Execute one scenario end to end; never raises for SLO failures."""
+    from ..observability import Tracer
+
+    tracer = tracer or Tracer(threadsafe=True)
+    progress = progress or (lambda message: None)
+
+    handle = (
+        ServerHandle(url=url) if url else boot_server(scenario.service)
+    )
+    client = ServiceClient(handle.url)
+    recorder = LoadRecorder(seed=scenario.seed)
+    pool = _PayloadPool(scenario.ops, seed=scenario.seed)
+    versions = _VersionTracker()
+    sampler = GaugeSampler(
+        client.metrics_text, interval_s=scenario.metrics_interval_s
+    )
+
+    try:
+        with tracer.span(f"load_scenario.{scenario.label}"):
+            progress(f"target {handle.url}")
+            # Warm the service with one unrecorded detection so membership /
+            # diff ops do not spend the whole run answering cold-start 404s.
+            warm = client.submit_graph(pool.graph_body())
+            if warm.status == 202:
+                state, polls = client.follow_job(
+                    str(warm.payload["job_id"]),
+                    mode="long" if scenario.poll == "long" else "busy",
+                    wait_s=min(scenario.poll_wait_s, 10.0),
+                    deadline=time.monotonic() + 30.0,
+                )
+                for poll_result in polls:
+                    payload = poll_result.payload
+                    if isinstance(payload.get("result"), dict):
+                        versions.observe(payload["result"].get("version"))
+
+            sampler.start()
+            # Every followed job must die by the drain deadline.
+            end_of_drain = (
+                time.monotonic() + scenario.offered_duration_s + scenario.drain_s
+            )
+
+            def execute(op: OpSpec) -> None:
+                _execute_op(
+                    op, client, pool, versions, recorder, scenario, end_of_drain
+                )
+
+            t_start = time.perf_counter()
+            if scenario.mode == "open":
+                _run_open_loop(scenario, execute, recorder, progress)
+            else:
+                _run_closed_loop(scenario, execute, progress)
+            wall_s = time.perf_counter() - t_start
+
+            sampler.stop()
+            final_metrics = client.metrics_text()
+    finally:
+        if handle.owned:
+            handle.stop()
+
+    duration = scenario.offered_duration_s
+    op_summaries = {
+        name: stats.summary(duration)
+        for name, stats in recorder.op_stats().items()
+    }
+    op_summaries["total"] = recorder.totals().summary(duration)
+    checks = evaluate_slos(op_summaries, scenario.slos)
+    tracer.add_counter("loadgen_requests", op_summaries["total"]["count"])
+    tracer.add_counter("loadgen_shed", recorder.shed)
+    tracer.add_counter(
+        "loadgen_slo_failures", sum(1 for c in checks if not c.ok)
+    )
+
+    return LoadResult(
+        scenario=scenario,
+        wall_s=wall_s,
+        op_summaries=op_summaries,
+        checks=checks,
+        queue_depth=sampler.summary(),
+        server_latency=_server_latency_summary(final_metrics),
+        shed=recorder.shed,
+        jobs={
+            "completed": recorder.jobs_completed,
+            "unresolved": recorder.jobs_unresolved,
+            "turnaround_ms": {
+                "p50": 1000.0 * recorder.job_turnaround.quantile(0.50),
+                "p95": 1000.0 * recorder.job_turnaround.quantile(0.95),
+                "p99": 1000.0 * recorder.job_turnaround.quantile(0.99),
+            },
+        },
+        url=handle.url,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Artifacts
+# ------------------------------------------------------------------ #
+
+_TABLE_COLUMNS = [
+    "op", "count", "throughput_rps", "ok", "backpressure_503",
+    "not_found_404", "client_err_4xx", "server_err_5xx", "net_err",
+    "error_rate", "rate_503", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+    "mean_ms",
+]
+
+
+def write_load_table(result: LoadResult, path: str) -> None:
+    """One CSV row per op (plus the total row), mirroring run_table.csv."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_TABLE_COLUMNS)
+        for name in sorted(result.op_summaries):
+            s = result.op_summaries[name]
+            lat = s["latency_ms"]
+            writer.writerow([
+                name, s["count"], f"{s['throughput_rps']:.3f}", s["ok"],
+                s["backpressure_503"], s["not_found_404"], s["client_err_4xx"],
+                s["server_err_5xx"], s["net_err"], f"{s['error_rate']:.4f}",
+                f"{s['rate_503']:.4f}", f"{lat['p50']:.3f}",
+                f"{lat['p95']:.3f}", f"{lat['p99']:.3f}",
+                f"{lat['max']:.3f}", f"{lat['mean']:.3f}",
+            ])
+
+
+def write_load_summary(result: LoadResult, path: str) -> dict[str, Any]:
+    """``LOAD_<label>.json``: the durable, comparable artifact."""
+    doc = {
+        "schema": LOAD_SCHEMA_VERSION,
+        "label": result.scenario.label,
+        "description": result.scenario.description,
+        "environment": environment_stamp(),
+        "scenario": {
+            "mode": result.scenario.mode,
+            "rate": result.scenario.rate,
+            "max_outstanding": result.scenario.max_outstanding,
+            "clients": result.scenario.clients,
+            "think_time_s": result.scenario.think_time_s,
+            "ramp_s": result.scenario.ramp_s,
+            "steady_s": result.scenario.steady_s,
+            "drain_s": result.scenario.drain_s,
+            "poll": result.scenario.poll,
+            "seed": result.scenario.seed,
+            "ops": {
+                op.name: {"weight": op.weight, **op.params}
+                for op in result.scenario.ops
+            },
+            "service": result.scenario.service,
+        },
+        "url": result.url,
+        "wall_s": result.wall_s,
+        "offered_duration_s": result.scenario.offered_duration_s,
+        "shed": result.shed,
+        "jobs": result.jobs,
+        "ops": result.op_summaries,
+        "queue_depth": result.queue_depth,
+        "server_latency": result.server_latency,
+        "slo": {
+            "passed": result.passed,
+            "checks": [check.to_dict() for check in result.checks],
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc

@@ -1,0 +1,142 @@
+"""Declarative SLO assertions over a load-run summary.
+
+An ``[slo.<target>]`` table in the scenario maps assertion keys to limits;
+targets are ``total`` (the aggregate across ops), ``poll`` (job-status
+requests), or any op in the mix.  Supported keys:
+
+==================  =====================================================
+key                 asserts
+==================  =====================================================
+``p50_ms``          50th-percentile client latency <= limit (ms)
+``p95_ms``          95th-percentile client latency <= limit (ms)
+``p99_ms``          99th-percentile client latency <= limit (ms)
+``mean_ms``         mean client latency <= limit (ms)
+``max_ms``          worst observed client latency <= limit (ms)
+``max_error_rate``  (5xx excl. 503 + network errors) / count <= limit
+``max_503_rate``    503-backpressure responses / count <= limit
+``max_5xx``         absolute count of 5xx excl. 503 <= limit
+``min_throughput``  completed requests / offered duration >= limit (rps)
+``min_count``       at least this many requests observed (guards against
+                    a vacuous pass where the generator sent nothing)
+==================  =====================================================
+
+Checks evaluate against the summary dict :mod:`repro.loadgen.runner`
+produces, so they can also be replayed offline against a stored
+``LOAD_<label>.json`` (the ``repro load report`` path).  Unknown keys or
+targets fail fast at parse time -- a typo in an SLO must not silently
+always-pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from .workload import LoadConfigError
+
+__all__ = ["SloCheck", "SLO_KEYS", "evaluate_slos", "parse_slo_overrides"]
+
+#: key -> (summary path, direction); "le" asserts actual <= limit.
+SLO_KEYS: dict[str, tuple[tuple[str, ...], str]] = {
+    "p50_ms": (("latency_ms", "p50"), "le"),
+    "p95_ms": (("latency_ms", "p95"), "le"),
+    "p99_ms": (("latency_ms", "p99"), "le"),
+    "mean_ms": (("latency_ms", "mean"), "le"),
+    "max_ms": (("latency_ms", "max"), "le"),
+    "max_error_rate": (("error_rate",), "le"),
+    "max_503_rate": (("rate_503",), "le"),
+    "max_5xx": (("server_err_5xx",), "le"),
+    "min_throughput": (("throughput_rps",), "ge"),
+    "min_count": (("count",), "ge"),
+}
+
+
+@dataclass(frozen=True)
+class SloCheck:
+    """One evaluated assertion."""
+
+    target: str
+    key: str
+    limit: float
+    actual: float
+    ok: bool
+
+    def describe(self) -> str:
+        op = "<=" if SLO_KEYS[self.key][1] == "le" else ">="
+        mark = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{mark}] {self.target}.{self.key}: "
+            f"{self.actual:.4g} {op} {self.limit:.4g}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "key": self.key,
+            "limit": self.limit,
+            "actual": self.actual,
+            "ok": self.ok,
+        }
+
+
+def evaluate_slos(
+    op_summaries: Mapping[str, Mapping[str, Any]],
+    slos: Mapping[str, Mapping[str, float]],
+) -> list[SloCheck]:
+    """Evaluate every assertion; returns all checks, failed ones included.
+
+    ``op_summaries`` maps op name (plus ``"total"``) to the per-op summary
+    dict.  An SLO target with zero recorded requests fails every latency /
+    rate assertion on it via the ``min_count`` semantics: latency of an
+    absent op is 0 which would vacuously pass, so targets missing from the
+    summaries fail explicitly instead.
+    """
+    checks: list[SloCheck] = []
+    for target, spec in slos.items():
+        summary = op_summaries.get(target)
+        for key, limit in spec.items():
+            rule = SLO_KEYS.get(key)
+            if rule is None:
+                raise LoadConfigError(
+                    f"unknown SLO key {key!r} (known: {sorted(SLO_KEYS)})"
+                )
+            if summary is None:
+                # Target saw no traffic at all: fail loudly, never vacuously.
+                checks.append(SloCheck(target, key, float(limit), 0.0, False))
+                continue
+            path, direction = rule
+            actual: Any = summary
+            for part in path:
+                actual = actual[part]
+            actual = float(actual)
+            ok = actual <= limit if direction == "le" else actual >= limit
+            checks.append(SloCheck(target, key, float(limit), actual, ok))
+    return checks
+
+
+def parse_slo_overrides(pairs: Iterable[str]) -> dict[str, dict[str, float]]:
+    """CLI ``--slo target.key=value`` overrides -> the scenario SLO shape.
+
+    Used by the CI gate's seeded must-fail self-test: the workflow re-runs
+    the smoke scenario with an impossible bound (``--slo
+    total.p99_ms=0.0001``) and asserts the exit code is non-zero.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for pair in pairs:
+        spec, sep, value = pair.partition("=")
+        target, dot, key = spec.partition(".")
+        if not sep or not dot or not target or not key:
+            raise LoadConfigError(
+                f"--slo expects target.key=value, got {pair!r}"
+            )
+        if key not in SLO_KEYS:
+            raise LoadConfigError(
+                f"unknown SLO key {key!r} (known: {sorted(SLO_KEYS)})"
+            )
+        try:
+            out.setdefault(target, {})[key] = float(value)
+        except ValueError:
+            raise LoadConfigError(
+                f"--slo value must be a number, got {value!r}"
+            ) from None
+    return out

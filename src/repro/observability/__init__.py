@@ -35,13 +35,16 @@ from .aggregate import (
 )
 from .events import EventKind, TraceEvent
 from .exporters import (
+    DEFAULT_LATENCY_BUCKETS,
     TRACE_FORMATS,
+    LatencyHistogram,
     chrome_trace,
     export_trace,
     follow_jsonl,
     iter_jsonl,
     prometheus_counters,
     prometheus_gauges,
+    prometheus_histograms,
     prometheus_snapshot,
     read_jsonl,
     write_chrome_trace,
@@ -111,6 +114,9 @@ __all__ = [
     "prometheus_snapshot",
     "prometheus_counters",
     "prometheus_gauges",
+    "prometheus_histograms",
+    "LatencyHistogram",
+    "DEFAULT_LATENCY_BUCKETS",
     "write_prometheus",
     "format_report",
     "format_convergence_table",

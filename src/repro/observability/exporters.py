@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import re
+import threading
 import time
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
@@ -43,8 +44,11 @@ __all__ = [
     "prometheus_snapshot",
     "prometheus_counters",
     "prometheus_gauges",
+    "prometheus_histograms",
     "write_prometheus",
     "export_trace",
+    "LatencyHistogram",
+    "DEFAULT_LATENCY_BUCKETS",
 ]
 
 TRACE_FORMATS = ("jsonl", "chrome", "prom")
@@ -442,6 +446,100 @@ def prometheus_counters(
         lines.append(f"# HELP {metric} {help_text.get(name, 'Cumulative counter')}")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {counters[name]:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Request-duration bucket upper bounds in seconds (Prometheus convention:
+#: cumulative ``le`` buckets; ``+Inf`` is implicit).  Spans sub-millisecond
+#: metadata reads through multi-second detection-job waits.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram (Prometheus semantics).
+
+    Buckets are *cumulative upper bounds* (``le``): an observation lands in
+    every bucket whose bound is >= the value, matching what a Prometheus
+    server expects to scrape.  ``observe`` is a couple of integer increments
+    under a lock, cheap enough to sit on every HTTP request.
+    """
+
+    def __init__(
+        self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ValueError("buckets must be positive upper bounds")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("buckets must be sorted ascending")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        value = float(seconds)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count) -- atomic."""
+        with self._lock:
+            raw = list(self._counts)
+            total_sum = self._sum
+        cumulative: list[int] = []
+        running = 0
+        for count in raw:
+            running += count
+            cumulative.append(running)
+        return cumulative, total_sum, running
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+
+def prometheus_histograms(
+    histograms: Mapping[str, "LatencyHistogram"],
+    *,
+    name: str = "request_duration_seconds",
+    label: str = "endpoint",
+    prefix: str = "repro_",
+    help_text: str = "Request duration by endpoint",
+) -> str:
+    """Render labelled :class:`LatencyHistogram` instances as Prometheus text.
+
+    ``histograms`` maps a label value (e.g. the normalized HTTP route) to its
+    histogram; all series share one metric ``name``.  Empty histograms are
+    skipped so a scrape never shows all-zero series for routes nobody hit.
+    """
+    metric = _prom_name(name, prefix)
+    lines: list[str] = []
+    for key in sorted(histograms):
+        hist = histograms[key]
+        cumulative, total_sum, count = hist.snapshot()
+        if count == 0:
+            continue
+        if not lines:
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} histogram")
+        for bound, cum in zip(hist.bounds, cumulative):
+            labels = _prom_labels({label: key, "le": f"{bound:g}"})
+            lines.append(f"{metric}_bucket{labels} {cum}")
+        labels = _prom_labels({label: key, "le": "+Inf"})
+        lines.append(f"{metric}_bucket{labels} {cumulative[-1]}")
+        lines.append(f"{metric}_sum{_prom_labels({label: key})} {total_sum:.9g}")
+        lines.append(f"{metric}_count{_prom_labels({label: key})} {count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

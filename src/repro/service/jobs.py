@@ -168,6 +168,8 @@ class JobQueue:
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
+        #: Signalled whenever any job reaches a terminal state (long-poll).
+        self._terminal = threading.Condition(self._lock)
         self._seq = itertools.count()
         #: Ready min-heap: (priority, seq, job).
         self._ready: list[tuple[int, int, Job]] = []
@@ -213,6 +215,7 @@ class JobQueue:
                 job.state = JobState.CANCELLED
                 job.error = job.error or "queue closed during retry"
                 job.finished_at = time.time()
+                self._terminal.notify_all()
                 return
             job.state = JobState.PENDING
             self._pending += 1
@@ -240,6 +243,7 @@ class JobQueue:
                 job.finished_at = time.time()
                 self._pending -= 1
                 job.cancel_event.set()
+                self._terminal.notify_all()
                 return True
             if job.state == JobState.RUNNING:
                 job.cancel_event.set()
@@ -322,6 +326,7 @@ class JobQueue:
             if error is not None:
                 job.error = error
             job.finished_at = time.time()
+            self._terminal.notify_all()
             return True
 
     # -------------------------------------------------------------- #
@@ -334,6 +339,36 @@ class JobQueue:
                 return self._jobs[job_id]
             except KeyError:
                 raise KeyError(f"unknown job {job_id!r}") from None
+
+    def wait_terminal(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until ``job_id`` reaches a terminal state or ``timeout``.
+
+        The long-poll primitive: waiters sleep on a condition variable that
+        every terminal transition (:meth:`finalize`, :meth:`cancel` of a
+        PENDING job, :meth:`close` cancelling the backlog) signals, so a
+        waiter wakes at the transition instead of on a poll tick.  Returns
+        the job in whatever state it holds when the wait ends -- callers
+        check ``job.done`` to distinguish completion from expiry.  Raises
+        :class:`KeyError` for an unknown job.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        with self._terminal:
+            try:
+                job = self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+            while not job.done:
+                if self._closed and job.state != JobState.RUNNING:
+                    break  # close() without cancel_pending: nothing will run
+                wait: float | None = None
+                if deadline is not None:
+                    wait = deadline - time.monotonic()
+                    if wait <= 0:
+                        break
+                self._terminal.wait(wait)
+            return job
 
     def jobs(self) -> list[Job]:
         with self._lock:
@@ -373,3 +408,4 @@ class JobQueue:
                 self._ready.clear()
                 self._delayed.clear()
             self._not_empty.notify_all()
+            self._terminal.notify_all()

@@ -15,14 +15,21 @@ POST     ``/graph``               submit a full detection job; body is JSON
 POST     ``/edges``               submit an edge-batch warm-start update;
                                   JSON ``{"add": [[u, v(, w)], ...],
                                   "remove": [[u, v], ...]}``; 202
-GET      ``/jobs/<id>``           job status / result / error
+GET      ``/jobs/<id>``           job status / result / error; with
+                                  ``?wait=<seconds>`` the request long-polls:
+                                  it blocks on the queue's terminal condition
+                                  variable until the job reaches a terminal
+                                  state or the wait expires (capped at
+                                  ``MAX_LONGPOLL_WAIT``), then returns the
+                                  job either way
 DELETE   ``/jobs/<id>``           cancel (pending or running)
 GET      ``/membership``          community assignment; ``?vertex=`` for one
                                   vertex, ``?version=`` for point-in-time
 GET      ``/versions``            retained snapshot metadata
 GET      ``/diff?from=A&to=B``    community churn between two versions
 GET      ``/healthz``             liveness + queue/worker/store gauges
-GET      ``/metrics``             Prometheus text (job counters + gauges)
+GET      ``/metrics``             Prometheus text (job counters + gauges +
+                                  per-endpoint request-duration histograms)
 POST     ``/shutdown``            drain and stop the server
 =======  =======================  ==========================================
 
@@ -35,15 +42,21 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from ..observability.exporters import LatencyHistogram, prometheus_histograms
 from .jobs import QueueClosedError, QueueFullError
 from .workers import DetectionService
 
-__all__ = ["ServiceServer", "run_server"]
+__all__ = ["ServiceServer", "run_server", "MAX_LONGPOLL_WAIT"]
+
+#: Upper bound on ``GET /jobs/<id>?wait=`` -- each long-poll parks one
+#: request thread, so waits are bounded and clients re-issue to keep waiting.
+MAX_LONGPOLL_WAIT = 30.0
 
 
 class _BadRequest(ValueError):
@@ -177,11 +190,20 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self) -> str:
         return urlparse(self.path).path.rstrip("/") or "/"
 
+    @property
+    def _endpoint(self) -> str:
+        """Normalized route for the duration histograms (ids collapsed)."""
+        route = self._route
+        if route.startswith("/jobs/"):
+            route = "/jobs/:id"
+        return route
+
     # ---------------------------------------------------------------- #
     # Dispatch
     # ---------------------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        t0 = time.perf_counter()
         try:
             self._dispatch_get()
         except _BadRequest as exc:
@@ -190,8 +212,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
         except Exception as exc:  # pragma: no cover - defensive
             self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self.server.observe_request("GET", self._endpoint,
+                                        time.perf_counter() - t0)
 
     def do_POST(self) -> None:  # noqa: N802
+        t0 = time.perf_counter()
         try:
             self._dispatch_post()
         except _BadRequest as exc:
@@ -205,8 +231,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
         except Exception as exc:  # pragma: no cover - defensive
             self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self.server.observe_request("POST", self._endpoint,
+                                        time.perf_counter() - t0)
 
     def do_DELETE(self) -> None:  # noqa: N802
+        t0 = time.perf_counter()
         try:
             route = self._route
             if route.startswith("/jobs/"):
@@ -219,6 +249,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"no route DELETE {route}"})
         except KeyError as exc:
             self._send(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+        finally:
+            self.server.observe_request("DELETE", self._endpoint,
+                                        time.perf_counter() - t0)
 
     # ---------------------------------------------------------------- #
     # GET routes
@@ -229,7 +262,10 @@ class _Handler(BaseHTTPRequestHandler):
         if route == "/healthz":
             self._send(200, self.service.health())
         elif route == "/metrics":
-            self._send(200, self.service.metrics_text())
+            self._send(
+                200,
+                self.service.metrics_text() + self.server.request_metrics_text(),
+            )
         elif route == "/versions":
             self._send(200, {"versions": self.service.store.versions()})
         elif route == "/membership":
@@ -237,10 +273,25 @@ class _Handler(BaseHTTPRequestHandler):
         elif route == "/diff":
             self._get_diff()
         elif route.startswith("/jobs/"):
-            job = self.service.job(route[len("/jobs/"):])
-            self._send(200, job.as_dict())
+            self._get_job(route[len("/jobs/"):])
         else:
             self._send(404, {"error": f"no route GET {route}"})
+
+    def _get_job(self, job_id: str) -> None:
+        q = self._query()
+        if "wait" in q:
+            try:
+                wait = float(q["wait"])
+            except ValueError:
+                raise _BadRequest(f"wait must be a number, got {q['wait']!r}") from None
+            if wait < 0:
+                raise _BadRequest("wait must be >= 0")
+            job = self.service.queue.wait_terminal(
+                job_id, min(wait, MAX_LONGPOLL_WAIT)
+            )
+        else:
+            job = self.service.job(job_id)
+        self._send(200, job.as_dict())
 
     def _get_membership(self) -> None:
         q = self._query()
@@ -333,7 +384,30 @@ class ServiceServer(ThreadingHTTPServer):
         self.service = service
         self.verbose = verbose
         self._stopped = threading.Event()
+        #: Per-(method, endpoint) request-duration histograms for /metrics.
+        self._request_stats: dict[str, LatencyHistogram] = {}
+        self._request_stats_lock = threading.Lock()
         super().__init__((host, port), _Handler)
+
+    def observe_request(self, method: str, endpoint: str, seconds: float) -> None:
+        """Record one request's duration into the per-endpoint histograms."""
+        key = f"{method} {endpoint}"
+        hist = self._request_stats.get(key)
+        if hist is None:
+            with self._request_stats_lock:
+                hist = self._request_stats.setdefault(key, LatencyHistogram())
+        hist.observe(seconds)
+
+    def request_metrics_text(self) -> str:
+        """Prometheus text for the request-duration histograms."""
+        with self._request_stats_lock:
+            stats = dict(self._request_stats)
+        return prometheus_histograms(
+            stats,
+            name="service_request_duration_seconds",
+            label="endpoint",
+            help_text="HTTP request duration by method and endpoint",
+        )
 
     @property
     def address(self) -> str:

@@ -500,14 +500,15 @@ class DetectionService:
             self.tracer.add_counter("service_jobs_cancel_requests", 1)
         return cancelled
 
-    def wait(self, job_id: str, timeout: float = 30.0, poll: float = 0.01) -> Job:
-        """Block until the job reaches a terminal state (testing/embedding)."""
-        deadline = time.monotonic() + timeout
-        job = self.queue.get(job_id)
-        while not job.done:
-            if time.monotonic() >= deadline:
-                raise TimeoutError(f"job {job_id} still {job.state} after {timeout}s")
-            time.sleep(poll)
+    def wait(self, job_id: str, timeout: float = 30.0) -> Job:
+        """Block until the job reaches a terminal state (testing/embedding).
+
+        Sleeps on the queue's terminal condition variable (no poll loop);
+        raises :class:`TimeoutError` if the job is still live at expiry.
+        """
+        job = self.queue.wait_terminal(job_id, timeout)
+        if not job.done:
+            raise TimeoutError(f"job {job_id} still {job.state} after {timeout}s")
         return job
 
     def membership(self, vertex: int | None = None, version: int | None = None):

@@ -1,0 +1,169 @@
+"""Reservoir quantiles, status classification, Prometheus parsing."""
+
+import random
+
+import pytest
+
+from repro.loadgen import (
+    LoadRecorder,
+    OpResult,
+    OpStats,
+    Reservoir,
+    histogram_quantile,
+    parse_prometheus_gauges,
+    parse_prometheus_histograms,
+)
+from repro.observability import LatencyHistogram, prometheus_histograms
+
+
+def _result(op="health", status=200, latency=0.01, **kwargs):
+    return OpResult(op=op, status=status, latency_s=latency, **kwargs)
+
+
+class TestReservoir:
+    def test_exact_below_capacity(self):
+        r = Reservoir(capacity=100, seed=0)
+        for v in range(1, 101):
+            r.add(float(v))
+        assert r.quantile(0.0) == 1.0
+        assert r.quantile(1.0) == 100.0
+        assert abs(r.quantile(0.5) - 50.5) < 1.0
+
+    def test_uniform_sampling_beyond_capacity(self):
+        r = Reservoir(capacity=256, seed=1)
+        for v in range(10_000):
+            r.add(float(v))
+        assert r.seen == 10_000
+        # The sampled median of a uniform 0..9999 stream lands near 5000.
+        assert 3500 < r.quantile(0.5) < 6500
+
+    def test_deterministic_for_fixed_seed(self):
+        values = [random.Random(9).random() for _ in range(5000)]
+        quantiles = []
+        for _ in range(2):
+            r = Reservoir(capacity=128, seed=42)
+            for v in values:
+                r.add(v)
+            quantiles.append((r.quantile(0.5), r.quantile(0.99)))
+        assert quantiles[0] == quantiles[1]
+
+    def test_empty_is_zero(self):
+        assert Reservoir().quantile(0.99) == 0.0
+
+    def test_invalid_quantile_rejected(self):
+        r = Reservoir()
+        r.add(1.0)
+        with pytest.raises(ValueError):
+            r.quantile(1.5)
+
+
+class TestOpStats:
+    def test_status_classification_is_disjoint(self):
+        stats = OpStats("x")
+        for status in (200, 202, 503, 404, 400, 500, 0):
+            stats.record(_result(status=status))
+        assert stats.count == 7
+        assert stats.ok == 2
+        assert stats.backpressure == 1
+        assert stats.not_found == 1
+        assert stats.client_err == 1
+        assert stats.server_err == 1
+        assert stats.net_err == 1
+        assert stats.errors == 2  # 500 + network, not the 503 or 404
+
+    def test_summary_rates_and_latency(self):
+        stats = OpStats("x")
+        for latency in (0.010, 0.020, 0.030, 0.040):
+            stats.record(_result(latency=latency))
+        s = stats.summary(duration_s=2.0)
+        assert s["count"] == 4
+        assert s["throughput_rps"] == 2.0
+        assert s["error_rate"] == 0.0
+        assert s["latency_ms"]["max"] == pytest.approx(40.0)
+        assert 10.0 <= s["latency_ms"]["p50"] <= 40.0
+
+
+class TestLoadRecorder:
+    def test_totals_aggregate_across_ops(self):
+        rec = LoadRecorder(seed=0)
+        rec.record(_result(op="health", status=200))
+        rec.record(_result(op="membership", status=503))
+        rec.record(_result(op="membership", status=500))
+        total = rec.totals()
+        assert total.count == 3
+        assert total.backpressure == 1
+        assert total.server_err == 1
+        assert set(rec.op_stats()) == {"health", "membership"}
+
+    def test_shed_and_job_accounting(self):
+        rec = LoadRecorder(seed=0)
+        rec.record_shed()
+        rec.record_shed()
+        rec.record_job(0.5, resolved=True)
+        rec.record_job(1.0, resolved=False)
+        assert rec.shed == 2
+        assert rec.jobs_completed == 1
+        assert rec.jobs_unresolved == 1
+
+    def test_concurrent_recording_loses_nothing(self):
+        import threading
+
+        rec = LoadRecorder(seed=0)
+        n, threads = 500, 8
+
+        def hammer():
+            for _ in range(n):
+                rec.record(_result(op="health"))
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert rec.totals().count == n * threads
+
+
+class TestPrometheusParsing:
+    def test_gauges(self):
+        text = (
+            "# HELP repro_service_queue_pending x\n"
+            "# TYPE repro_service_queue_pending gauge\n"
+            "repro_service_queue_pending 3\n"
+            'some_labeled{metric="x"} 9\n'
+            "repro_service_jobs_running 2.0\n"
+        )
+        gauges = parse_prometheus_gauges(text)
+        assert gauges["repro_service_queue_pending"] == 3.0
+        assert gauges["repro_service_jobs_running"] == 2.0
+        assert "some_labeled" not in gauges
+
+    def test_histogram_roundtrip_through_exporter(self):
+        """The loadgen parser must read what the service exporter writes."""
+        hist = LatencyHistogram()
+        for v in (0.002, 0.004, 0.008, 0.040, 0.900):
+            hist.observe(v)
+        text = prometheus_histograms(
+            {"GET /x": hist},
+            name="service_request_duration_seconds",
+            label="endpoint",
+            help_text="t",
+        )
+        parsed = parse_prometheus_histograms(text)
+        assert set(parsed) == {"GET /x"}
+        entry = parsed["GET /x"]
+        assert entry["count"] == 5
+        assert entry["sum"] == pytest.approx(0.954)
+        assert entry["buckets"][-1][1] == 5  # +Inf bucket sees everything
+        counts = [c for _, c in entry["buckets"]]
+        assert counts == sorted(counts)
+
+    def test_histogram_quantile_interpolates(self):
+        # 10 obs <= 0.1, 10 more <= 0.2 (cumulative 20), none beyond.
+        buckets = [(0.1, 10), (0.2, 20), (float("inf"), 20)]
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(0.1)
+        assert histogram_quantile(buckets, 0.75) == pytest.approx(0.15)
+        assert histogram_quantile(buckets, 1.0) == pytest.approx(0.2)
+
+    def test_histogram_quantile_empty(self):
+        assert histogram_quantile([], 0.99) == 0.0
+        assert histogram_quantile([(0.1, 0), (float("inf"), 0)], 0.5) == 0.0

@@ -1,0 +1,126 @@
+"""Report rendering and the load-compare regression gate."""
+
+from repro.loadgen import (
+    compare_load_summaries,
+    format_load_compare,
+    format_load_report,
+)
+
+
+def _op(p99=10.0, rps=50.0, count=100):
+    return {
+        "count": count,
+        "ok": count,
+        "backpressure_503": 0,
+        "not_found_404": 0,
+        "client_err_4xx": 0,
+        "server_err_5xx": 0,
+        "net_err": 0,
+        "throughput_rps": rps,
+        "error_rate": 0.0,
+        "rate_503": 0.0,
+        "latency_ms": {"mean": 5.0, "p50": 4.0, "p95": 8.0, "p99": p99, "max": 30.0},
+    }
+
+
+def _doc(**op_overrides):
+    ops = {"health": _op(), "total": _op(count=200)}
+    ops.update(op_overrides)
+    return {
+        "label": "t",
+        "description": "test doc",
+        "scenario": {
+            "mode": "open", "rate": 30.0, "max_outstanding": 8,
+            "ramp_s": 0.5, "steady_s": 3.0, "poll": "long",
+        },
+        "environment": {"platform": "testbox", "git_sha": "abc1234"},
+        "wall_s": 3.5,
+        "shed": 0,
+        "jobs": {"completed": 5, "unresolved": 0,
+                 "turnaround_ms": {"p50": 10.0, "p95": 20.0, "p99": 30.0}},
+        "ops": ops,
+        "queue_depth": {
+            "repro_service_queue_pending": {
+                "n": 12, "median": 0.0, "mean": 0.1, "stdev": 0.0, "cv": 0.0,
+                "min": 0.0, "max": 1.0, "mad": 0.0, "outliers": [],
+            },
+        },
+        "server_latency": {
+            "GET /healthz": {"count": 10, "mean_ms": 0.4, "p50_ms": 0.3,
+                             "p95_ms": 0.8, "p99_ms": 0.9},
+        },
+        "slo": {
+            "passed": True,
+            "checks": [{"target": "total", "key": "p99_ms", "limit": 100.0,
+                        "actual": 10.0, "ok": True}],
+        },
+    }
+
+
+class TestReport:
+    def test_contains_all_sections(self):
+        text = format_load_report(_doc())
+        assert "# Load report: t" in text
+        assert "Client-observed per-op latency" in text
+        assert "Server-side request durations" in text
+        assert "GET /healthz" in text
+        assert "## Jobs" in text
+        assert "## Queue depth" in text
+        assert "## SLOs" in text
+        assert "all SLOs met" in text
+        assert "abc1234" in text
+
+    def test_violations_flagged(self):
+        doc = _doc()
+        doc["slo"] = {
+            "passed": False,
+            "checks": [{"target": "total", "key": "p99_ms", "limit": 1.0,
+                        "actual": 10.0, "ok": False}],
+        }
+        text = format_load_report(doc)
+        assert "SLO VIOLATIONS" in text
+        assert "**FAIL**" in text
+
+    def test_shed_arrivals_called_out(self):
+        doc = _doc()
+        doc["shed"] = 17
+        assert "17 arrivals shed" in format_load_report(doc)
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        result = compare_load_summaries(_doc(), _doc())
+        assert not result.failed
+        assert result.deltas  # it actually compared something
+        text = format_load_compare(result)
+        assert "within tolerance" in text
+
+    def test_p99_regression_fails(self):
+        current = _doc(health=_op(p99=25.0))  # 2.5x with default tol 1.0
+        result = compare_load_summaries(_doc(), current)
+        assert result.failed
+        bad = [d for d in result.deltas if not d.ok]
+        assert bad and bad[0].metric == "p99_ms" and bad[0].op == "health"
+        assert "REGRESSION" in format_load_compare(result)
+
+    def test_throughput_drop_fails(self):
+        current = _doc(health=_op(rps=20.0))  # -60% with default tol 0.3
+        result = compare_load_summaries(_doc(), current)
+        assert any(
+            not d.ok and d.metric == "throughput_rps" for d in result.deltas
+        )
+
+    def test_missing_op_fails(self):
+        current = _doc()
+        del current["ops"]["health"]
+        result = compare_load_summaries(_doc(), current)
+        assert result.failed
+        assert result.missing_ops == ["health"]
+        assert "missing" in format_load_compare(result)
+
+    def test_custom_tolerance(self):
+        current = _doc(health=_op(p99=25.0))
+        loose = compare_load_summaries(_doc(), current, p99_tolerance=2.0)
+        assert not loose.failed
+        tight = compare_load_summaries(_doc(), current, p99_tolerance=0.1)
+        assert tight.failed

@@ -1,0 +1,201 @@
+"""End-to-end loadgen runs against an in-process service (no subprocess).
+
+The CLI path boots ``repro serve`` as a subprocess; tests target an
+in-process :class:`ServiceServer` through ``url=`` instead, which exercises
+the identical HTTP surface without paying a Python interpreter boot per
+test.  The CI workflow's slo-gate covers the subprocess boot path.
+"""
+
+import pytest
+
+from repro.loadgen import (
+    ServiceClient,
+    parse_scenario,
+    run_scenario,
+    write_load_summary,
+    write_load_table,
+)
+from repro.service import DetectionService, ServiceServer
+
+
+@pytest.fixture()
+def server():
+    svc = DetectionService(num_workers=2, queue_capacity=8, seed=0)
+    srv = ServiceServer(svc, port=0)
+    srv.serve_background()
+    yield srv
+    srv.stop()
+
+
+def _scenario(ops=None, **workload):
+    base_workload = {
+        "mode": "closed",
+        "clients": 3,
+        "think_time_s": 0.01,
+        "steady_s": 1.0,
+        "drain_s": 5.0,
+        "poll": "busy",
+        "seed": 0,
+        "metrics_interval_s": 0.1,
+    }
+    base_workload.update(workload)
+    return parse_scenario({
+        "label": "itest",
+        "workload": base_workload,
+        "ops": ops or {
+            "submit_graph": {"weight": 1, "communities": 3,
+                             "community_size": 8, "variants": 2},
+            "membership": {"weight": 4},
+            "health": {"weight": 2},
+        },
+        "slo": {
+            "total": {"max_5xx": 0, "min_count": 10},
+            "health": {"p99_ms": 5000.0},
+        },
+    })
+
+
+class TestRunScenario:
+    def test_closed_loop_end_to_end(self, server, tmp_path):
+        result = run_scenario(_scenario(), url=server.address)
+
+        total = result.op_summaries["total"]
+        assert total["count"] >= 10
+        assert total["server_err_5xx"] == 0
+        # All three ops (plus poll follow-ups) actually ran.
+        assert {"submit_graph", "membership", "health"} <= set(result.op_summaries)
+        assert result.op_summaries["submit_graph"]["ok"] >= 1
+        # Jobs were followed to terminal states.
+        assert result.jobs["completed"] >= 1
+        assert "poll" in result.op_summaries
+        # The server-side histograms made it into the result.
+        assert any("/healthz" in ep for ep in result.server_latency)
+        # Queue-depth gauge sampling ran.
+        assert "repro_service_queue_pending" in result.queue_depth
+        assert result.passed, [c.describe() for c in result.checks]
+
+        table = tmp_path / "load_table.csv"
+        summary = tmp_path / "LOAD_itest.json"
+        write_load_table(result, str(table))
+        doc = write_load_summary(result, str(summary))
+        assert table.exists() and summary.exists()
+        text = table.read_text()
+        assert text.splitlines()[0].startswith("op,count,")
+        assert "total," in text
+        assert doc["schema"] == 1
+        assert doc["slo"]["passed"] is True
+        assert "environment" in doc and "ops" in doc
+
+    def test_open_loop_with_long_poll(self, server):
+        # Submission-heavy mix: job follow-ups must happen regardless of how
+        # the seeded weighted draw falls.
+        scenario = _scenario(
+            ops={
+                "submit_graph": {"weight": 5, "communities": 3,
+                                 "community_size": 8, "variants": 2},
+                "membership": {"weight": 1},
+                "health": {"weight": 1},
+            },
+            mode="open", rate=25.0, max_outstanding=8,
+            steady_s=1.0, poll="long", poll_wait_s=3.0,
+        )
+        result = run_scenario(scenario, url=server.address)
+        total = result.op_summaries["total"]
+        assert total["count"] >= 15
+        assert total["server_err_5xx"] == 0
+        assert result.jobs["completed"] >= 1
+
+    def test_impossible_slo_fails_the_result(self, server):
+        scenario = _scenario()
+        scenario.slos["total"]["p99_ms"] = 0.0001
+        result = run_scenario(scenario, url=server.address)
+        assert not result.passed
+        failed = [c for c in result.checks if not c.ok]
+        assert any(c.key == "p99_ms" for c in failed)
+
+    def test_unreachable_server_is_all_net_errors_not_a_crash(self):
+        scenario = _scenario(steady_s=0.3, poll="none")
+        scenario.slos["total"]["max_error_rate"] = 0.0
+        # Port 9 (discard) refuses connections immediately.
+        result = run_scenario(scenario, url="http://127.0.0.1:9")
+        total = result.op_summaries["total"]
+        assert total["net_err"] == total["count"] > 0
+        assert total["error_rate"] == 1.0
+        assert not result.passed  # the error-rate SLO trips
+
+
+class TestCli:
+    def test_load_run_against_url_and_slo_override(self, server, tmp_path, capsys):
+        """`repro load run --url ... --slo` must gate the exit code."""
+        from repro.cli import main
+
+        scenario_path = tmp_path / "s.json"
+        import json
+
+        scenario_path.write_text(json.dumps({
+            "label": "cli",
+            "workload": {"mode": "closed", "clients": 2, "think_time_s": 0.01,
+                         "steady_s": 0.5, "drain_s": 3.0, "poll": "busy"},
+            "ops": {"health": {"weight": 1}},
+            "slo": {"total": {"max_5xx": 0}},
+        }))
+        out_dir = tmp_path / "out"
+
+        rc = main(["load", "run", str(scenario_path), "--url", server.address,
+                   "--out-dir", str(out_dir)])
+        assert rc == 0
+        assert (out_dir / "LOAD_cli.json").exists()
+        assert (out_dir / "load_table.csv").exists()
+
+        rc = main(["load", "run", str(scenario_path), "--url", server.address,
+                   "--out-dir", str(out_dir), "--label", "cli_fail",
+                   "--slo", "total.p99_ms=0.0001"])
+        assert rc == 1  # the must-fail self-test contract
+        assert (out_dir / "LOAD_cli_fail.json").exists()
+
+        rc = main(["load", "report", str(out_dir / "LOAD_cli.json"),
+                   "--check-slo"])
+        assert rc == 0
+        rc = main(["load", "report", str(out_dir / "LOAD_cli_fail.json"),
+                   "--check-slo"])
+        assert rc == 1
+
+        rc = main(["load", "compare", str(out_dir / "LOAD_cli.json"),
+                   str(out_dir / "LOAD_cli.json")])
+        assert rc == 0
+        capsys.readouterr()  # drain captured output
+
+    def test_load_run_bad_scenario_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"label": "x", "ops": {"warp": {}}}')
+        rc = main(["load", "run", str(bad)])
+        assert rc == 2
+        capsys.readouterr()
+
+
+class TestServiceClient:
+    def test_rejects_non_http_url(self):
+        with pytest.raises(ValueError):
+            ServiceClient("ftp://example")
+
+    def test_metrics_text_and_health(self, server):
+        client = ServiceClient(server.address)
+        result = client.health()
+        assert result.ok and result.payload["status"] == "ok"
+        text = client.metrics_text()
+        assert "repro_service_queue_pending" in text
+
+    def test_follow_job_busy_and_long(self, server):
+        client = ServiceClient(server.address)
+        body = {"edges": [[0, 1], [1, 2], [2, 0], [3, 4], [4, 5], [5, 3]]}
+        for mode in ("busy", "long"):
+            submit = client.submit_graph(body)
+            assert submit.status == 202
+            state, polls = client.follow_job(
+                submit.payload["job_id"], mode=mode, wait_s=5.0,
+                interval_s=0.01,
+            )
+            assert state == "done"
+            assert polls and polls[-1].payload["state"] == "done"

@@ -1,0 +1,94 @@
+"""SLO evaluation semantics and CLI override parsing."""
+
+import pytest
+
+from repro.loadgen import (
+    LoadConfigError,
+    evaluate_slos,
+    parse_slo_overrides,
+)
+
+
+def _summary(**overrides):
+    base = {
+        "count": 100,
+        "ok": 100,
+        "backpressure_503": 0,
+        "not_found_404": 0,
+        "client_err_4xx": 0,
+        "server_err_5xx": 0,
+        "net_err": 0,
+        "throughput_rps": 50.0,
+        "error_rate": 0.0,
+        "rate_503": 0.0,
+        "latency_ms": {"mean": 5.0, "p50": 4.0, "p95": 9.0, "p99": 12.0, "max": 30.0},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestEvaluate:
+    def test_latency_bounds(self):
+        checks = evaluate_slos(
+            {"total": _summary()},
+            {"total": {"p99_ms": 20.0, "p50_ms": 3.0}},
+        )
+        by_key = {c.key: c for c in checks}
+        assert by_key["p99_ms"].ok  # 12 <= 20
+        assert not by_key["p50_ms"].ok  # 4 > 3
+        assert by_key["p50_ms"].actual == 4.0
+
+    def test_min_bounds_flip_direction(self):
+        checks = evaluate_slos(
+            {"total": _summary()},
+            {"total": {"min_throughput": 60.0, "min_count": 50}},
+        )
+        by_key = {c.key: c for c in checks}
+        assert not by_key["min_throughput"].ok  # 50 < 60
+        assert by_key["min_count"].ok  # 100 >= 50
+
+    def test_error_and_backpressure_rates(self):
+        summary = _summary(error_rate=0.02, rate_503=0.5, server_err_5xx=2)
+        checks = evaluate_slos(
+            {"total": summary},
+            {"total": {"max_error_rate": 0.01, "max_503_rate": 0.6, "max_5xx": 0}},
+        )
+        by_key = {c.key: c for c in checks}
+        assert not by_key["max_error_rate"].ok
+        assert by_key["max_503_rate"].ok
+        assert not by_key["max_5xx"].ok
+
+    def test_missing_target_fails_loudly_not_vacuously(self):
+        checks = evaluate_slos({}, {"membership": {"p99_ms": 100.0}})
+        assert len(checks) == 1
+        assert not checks[0].ok
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(LoadConfigError, match="unknown SLO key"):
+            evaluate_slos({"total": _summary()}, {"total": {"p42_ms": 1.0}})
+
+    def test_describe_mentions_verdict(self):
+        checks = evaluate_slos({"total": _summary()}, {"total": {"p99_ms": 20.0}})
+        assert "PASS" in checks[0].describe()
+        checks = evaluate_slos({"total": _summary()}, {"total": {"p99_ms": 1.0}})
+        assert "FAIL" in checks[0].describe()
+
+
+class TestOverrides:
+    def test_parse_good(self):
+        out = parse_slo_overrides(
+            ["total.p99_ms=500", "health.max_error_rate=0.01", "total.max_5xx=0"]
+        )
+        assert out == {
+            "total": {"p99_ms": 500.0, "max_5xx": 0.0},
+            "health": {"max_error_rate": 0.01},
+        }
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["p99_ms=500", "total.p99_ms", "total.=5", ".p99_ms=5",
+         "total.p99_ms=fast", "total.bogus_key=1"],
+    )
+    def test_parse_bad(self, bad):
+        with pytest.raises(LoadConfigError):
+            parse_slo_overrides([bad])

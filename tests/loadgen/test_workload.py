@@ -1,0 +1,157 @@
+"""Scenario parsing, validation, and the arrival process."""
+
+import pytest
+
+from repro.loadgen import (
+    LoadConfigError,
+    OperationMix,
+    load_scenario,
+    open_loop_arrivals,
+    parse_scenario,
+)
+
+
+def _minimal(**overrides):
+    data = {
+        "label": "t",
+        "ops": {"health": {"weight": 1}},
+    }
+    data.update(overrides)
+    return data
+
+
+class TestParseScenario:
+    def test_minimal_defaults(self):
+        s = parse_scenario(_minimal())
+        assert s.label == "t"
+        assert s.mode == "open"
+        assert s.poll == "long"
+        assert [op.name for op in s.ops] == ["health"]
+
+    def test_missing_label_rejected(self):
+        with pytest.raises(LoadConfigError, match="label"):
+            parse_scenario({"ops": {"health": {}}})
+
+    def test_empty_ops_rejected(self):
+        with pytest.raises(LoadConfigError, match="ops"):
+            parse_scenario({"label": "t", "ops": {}})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(LoadConfigError, match="unknown op"):
+            parse_scenario(_minimal(ops={"frobnicate": {"weight": 1}}))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(LoadConfigError, match="weight"):
+            parse_scenario(_minimal(ops={"health": {"weight": 0}}))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(LoadConfigError, match="mode"):
+            parse_scenario(_minimal(workload={"mode": "sideways"}))
+
+    def test_bad_poll_rejected(self):
+        with pytest.raises(LoadConfigError, match="poll"):
+            parse_scenario(_minimal(workload={"poll": "frantic"}))
+
+    def test_unknown_service_key_rejected(self):
+        with pytest.raises(LoadConfigError, match="service"):
+            parse_scenario(_minimal(service={"turbo": True}))
+
+    def test_slo_target_must_be_known(self):
+        with pytest.raises(LoadConfigError, match="SLO target"):
+            parse_scenario(_minimal(slo={"membership": {"p99_ms": 10}}))
+
+    def test_slo_total_and_poll_targets_allowed(self):
+        s = parse_scenario(
+            _minimal(slo={"total": {"max_5xx": 0}, "poll": {"p99_ms": 100}})
+        )
+        assert set(s.slos) == {"total", "poll"}
+
+    def test_op_params_pass_through(self):
+        s = parse_scenario(
+            _minimal(ops={"submit_graph": {"weight": 2, "communities": 7}})
+        )
+        assert s.ops[0].params == {"communities": 7}
+        assert s.ops[0].weight == 2.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(LoadConfigError, match="rate"):
+            parse_scenario(_minimal(workload={"rate": -1}))
+
+    def test_scaled_multiplies_only_offered_window(self):
+        s = parse_scenario(
+            _minimal(workload={"ramp_s": 2.0, "steady_s": 10.0, "drain_s": 5.0})
+        )
+        half = s.scaled(0.5)
+        assert half.ramp_s == 1.0
+        assert half.steady_s == 5.0
+        assert half.drain_s == 5.0  # drain untouched
+        assert s.steady_s == 10.0  # original untouched
+        with pytest.raises(LoadConfigError):
+            s.scaled(0)
+
+
+class TestCheckedInScenarios:
+    """The two shipped scenario files must always parse."""
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "benchmarks/load/smoke_service.toml",
+            "benchmarks/load/mixed_rw.toml",
+        ],
+    )
+    def test_parses(self, path):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        s = load_scenario(str(repo_root / path))
+        assert s.ops and s.slos
+        assert "total" in s.slos
+
+
+class TestOperationMix:
+    def test_deterministic_for_fixed_seed(self):
+        ops = parse_scenario(
+            _minimal(ops={"health": {"weight": 1}, "membership": {"weight": 3}})
+        ).ops
+        seq_a = [OperationMix(ops, seed=7).choose().name for _ in range(1)]
+        mix_a = OperationMix(ops, seed=7)
+        mix_b = OperationMix(ops, seed=7)
+        seq_a = [mix_a.choose().name for _ in range(50)]
+        seq_b = [mix_b.choose().name for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_weights_bias_the_draw(self):
+        ops = parse_scenario(
+            _minimal(ops={"health": {"weight": 1}, "membership": {"weight": 9}})
+        ).ops
+        mix = OperationMix(ops, seed=0)
+        names = [mix.choose().name for _ in range(500)]
+        assert names.count("membership") > names.count("health") * 2
+
+    def test_fork_streams_diverge_but_are_reproducible(self):
+        ops = parse_scenario(
+            _minimal(ops={"health": {"weight": 1}, "membership": {"weight": 1}})
+        ).ops
+        forks_a = [OperationMix(ops, seed=3).fork(i) for i in range(2)]
+        forks_b = [OperationMix(ops, seed=3).fork(i) for i in range(2)]
+        for a, b in zip(forks_a, forks_b):
+            assert [a.choose().name for _ in range(30)] == [
+                b.choose().name for _ in range(30)
+            ]
+
+
+class TestArrivals:
+    def test_count_matches_rate_times_duration(self):
+        arrivals = list(open_loop_arrivals(50.0, 0.0, 2.0))
+        assert len(arrivals) == 100
+        assert arrivals[0] == 0.0
+        assert arrivals[-1] < 2.0
+
+    def test_monotonic_and_ramp_spreads_arrivals(self):
+        arrivals = list(open_loop_arrivals(20.0, 1.0, 1.0))
+        assert arrivals == sorted(arrivals)
+        ramp = [t for t in arrivals if t < 1.0]
+        steady = [t for t in arrivals if t >= 1.0]
+        # The ramp runs below the steady rate, so it has fewer arrivals.
+        assert 0 < len(ramp) < len(steady)

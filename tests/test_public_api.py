@@ -24,7 +24,7 @@ class TestPublicSurface:
         [
             "repro.graph", "repro.hashing", "repro.generators", "repro.metrics",
             "repro.sequential", "repro.runtime", "repro.parallel",
-            "repro.harness", "repro.cli",
+            "repro.harness", "repro.cli", "repro.loadgen",
         ],
     )
     def test_submodule_all_resolves(self, module):
